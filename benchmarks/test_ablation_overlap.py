@@ -1,0 +1,75 @@
+"""Ablation — compute/communication overlap (§III, "Support for
+overlapping stencil computation and communication").
+
+Runs the distributed Jacobi solver with the bulk-synchronous and the
+overlapped schedule at several subdomain sizes, reporting step time and the
+overlap benefit.  The expected shape: overlap helps most when compute time
+is comparable to exchange time, and converges to no benefit when either
+side dominates completely.
+"""
+
+import pytest
+
+import repro
+from repro import Dim3
+from repro.stencils import JacobiHeat
+
+from conftest import save_result
+from repro.bench.reporting import format_table
+
+SIZES = (96, 192, 384)
+
+
+def step_time(extent: int, overlap: bool) -> float:
+    cluster = repro.SimCluster.create(repro.summit_machine(1),
+                                      data_mode=False)
+    world = repro.MpiWorld.create(cluster, 6)
+    dd = repro.DistributedDomain(world, size=Dim3(extent, extent, extent),
+                                 radius=1, quantities=1).realize()
+    solver = JacobiHeat(dd)
+    solver.step(overlap=overlap)          # warm-up
+    return solver.step(overlap=overlap).elapsed
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {(e, ov): step_time(e, ov)
+            for e in SIZES for ov in (False, True)}
+
+
+def test_overlap_report(results):
+    rows = []
+    for e in SIZES:
+        bulk = results[(e, False)] * 1e3
+        ovl = results[(e, True)] * 1e3
+        rows.append((f"{e}^3", f"{bulk:.3f}", f"{ovl:.3f}",
+                     f"{bulk / ovl:.3f}x"))
+    text = format_table(
+        ["domain", "bulk step (ms)", "overlapped step (ms)", "speedup"],
+        rows, title="Compute/communication overlap ablation "
+                    "(Jacobi, 1 Summit node, 6 ranks)")
+    save_result("ablation_overlap", text)
+
+
+def test_overlap_never_much_slower(results):
+    """Small domains pay a few extra kernel launches (shell decomposition)
+    for nothing to hide; the penalty must stay marginal."""
+    for e in SIZES:
+        assert results[(e, True)] <= results[(e, False)] * 1.10
+
+
+def test_overlap_helps_at_balanced_sizes(results):
+    """At least one size shows a real win."""
+    speedups = [results[(e, False)] / results[(e, True)] for e in SIZES]
+    assert max(speedups) > 1.1
+
+
+def test_benchmark_overlapped_step(benchmark):
+    cluster = repro.SimCluster.create(repro.summit_machine(1),
+                                      data_mode=False)
+    world = repro.MpiWorld.create(cluster, 6)
+    dd = repro.DistributedDomain(world, size=Dim3(192, 192, 192),
+                                 radius=1).realize()
+    solver = JacobiHeat(dd)
+    benchmark.pedantic(lambda: solver.step(overlap=True), rounds=2,
+                       iterations=1)

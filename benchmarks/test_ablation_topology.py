@@ -1,0 +1,96 @@
+"""Ablation — capability specialization across node architectures.
+
+The library's selection logic is capability-driven, so the specialization
+payoff depends on what the node offers.  This ablation runs the
++remote→+kernel ladder on three architectures:
+
+* Summit (NVLink triads + X-Bus): large payoff (the paper's result);
+* DGX-like (NVLink all-to-all):   even larger payoff (slower host path);
+* PCIe box without peer access:   NO payoff — every pair must stage, and
+  the method selector must never pick peer/colocated.
+"""
+
+import pytest
+
+import repro
+from repro import Capability, Dim3
+from repro.core.capabilities import LADDER
+from repro.core.methods import ExchangeMethod
+from repro.mpi import MpiWorld
+from repro.runtime import SimCluster
+from repro.topology.presets import dgx_like_node, machine_of, pcie_node
+from repro.bench.reporting import format_table
+
+from conftest import save_result
+
+EXTENT = 480
+
+
+def ladder_times(machine, rpn):
+    out = {}
+    methods = {}
+    for rung, caps in LADDER.items():
+        cluster = SimCluster.create(machine, data_mode=False)
+        world = MpiWorld.create(cluster, rpn)
+        dd = repro.DistributedDomain(
+            world, size=Dim3(EXTENT, EXTENT, EXTENT), radius=2,
+            quantities=4, capabilities=caps).realize()
+        dd.exchange()
+        out[rung] = dd.exchange().elapsed
+        methods[rung] = dd.plan.method_counts()
+    return out, methods
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "summit": ladder_times(repro.summit_machine(1), 6),
+        "dgx": ladder_times(machine_of(dgx_like_node(8)), 8),
+        "pcie": ladder_times(machine_of(pcie_node(4)), 4),
+    }
+
+
+def test_topology_report(results):
+    rows = []
+    for name, (times, _) in results.items():
+        speedup = times["+remote"] / times["+kernel"]
+        rows.append((name,
+                     f"{times['+remote'] * 1e3:.3f}",
+                     f"{times['+kernel'] * 1e3:.3f}",
+                     f"{speedup:.2f}x"))
+    text = format_table(
+        ["node", "+remote (ms)", "+kernel (ms)", "specialization"],
+        rows, title=f"Specialization payoff by node architecture "
+                    f"({EXTENT}^3, 4 SP quantities)")
+    save_result("ablation_topology", text)
+
+
+def test_summit_payoff_large(results):
+    times, _ = results["summit"]
+    assert times["+remote"] / times["+kernel"] > 3.0
+
+
+def test_dgx_payoff_larger_than_summit(results):
+    """PCIe host links make staging costlier on the DGX-like node."""
+    s, _ = results["summit"]
+    d, _ = results["dgx"]
+    assert d["+remote"] / d["+kernel"] > s["+remote"] / s["+kernel"]
+
+
+def test_pcie_no_payoff(results):
+    """Essentially no payoff: the only residual gain is KERNEL replacing
+    MPI self-sends for periodic self-exchanges (~10%)."""
+    times, methods = results["pcie"]
+    assert times["+kernel"] == pytest.approx(times["+remote"], rel=0.15)
+    # Only MPI methods (plus KERNEL self-exchanges) ever selected.
+    assert ExchangeMethod.PEER_MEMCPY not in methods["+kernel"]
+    assert ExchangeMethod.COLOCATED_MEMCPY not in methods["+kernel"]
+
+
+def test_benchmark_dgx_exchange(benchmark):
+    cluster = SimCluster.create(machine_of(dgx_like_node(8)),
+                                data_mode=False)
+    world = MpiWorld.create(cluster, 8)
+    dd = repro.DistributedDomain(world, size=Dim3(256, 256, 256),
+                                 radius=2, quantities=4).realize()
+    benchmark.pedantic(dd.exchange, rounds=2, iterations=1)

@@ -1,0 +1,80 @@
+"""Fig. 3 — communication volume vs partition shape.
+
+The paper's 2D illustration: splitting the same domain into 2x2 beats 4x1,
+and 3x3 beats 9x1, because blockier subdomains have lower surface-to-volume
+ratio.  We regenerate the figure's table (per-subdomain volume V_s and
+total volume V_d for each partition shape) and assert the orderings.
+"""
+
+import pytest
+
+from repro.dim3 import Dim3
+from repro.radius import Radius
+from repro.core.halo import exchange_directions, send_region
+from repro.core.partition import BlockPartition
+from repro.bench.reporting import format_table
+
+from conftest import save_result
+
+#: the figure's four partitions of one 2D domain (z = 1 plane)
+SHAPES = [Dim3(2, 2, 1), Dim3(4, 1, 1), Dim3(3, 3, 1), Dim3(9, 1, 1)]
+DOMAIN = Dim3(36, 36, 1)
+RADIUS = Radius(1, 1, 1, 1, 0, 0)  # 2D: no z exchange
+
+
+def comm_volume(domain: Dim3, dims: Dim3, radius: Radius):
+    """(V_s of subdomain (0,0,0), V_d total) grid points exchanged."""
+    bp = BlockPartition(domain, dims)
+    dirs = exchange_directions(radius)
+    total = 0
+    first = 0
+    for idx in bp.indices():
+        ext = bp.block_extent(idx)
+        sub = sum(send_region(ext, radius, d).volume for d in dirs)
+        total += sub
+        if idx == Dim3(0, 0, 0):
+            first = sub
+    return first, total
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for dims in SHAPES:
+        vs, vd = comm_volume(DOMAIN, dims, RADIUS)
+        rows.append((f"{dims.x}x{dims.y}", dims.volume, vs, vd))
+    return rows
+
+
+def test_fig03_report(table):
+    text = format_table(
+        ["partition", "subdomains", "V_s (points)", "V_d (points)"],
+        table, title=f"Fig. 3 analogue: {DOMAIN.x}x{DOMAIN.y} domain, r=1")
+    save_result("fig03_partition_volume", text)
+
+
+def test_square_partitions_beat_strips(table):
+    by_shape = {r[0]: r for r in table}
+    # Same partition count: blockier wins on total volume.
+    assert by_shape["2x2"][3] < by_shape["4x1"][3]
+    assert by_shape["3x3"][3] < by_shape["9x1"][3]
+
+
+def test_volume_minimized_at_min_surface_to_volume(table):
+    """The figure's caption: total comm volume tracks surface/volume."""
+    def s2v(dims):
+        bp = BlockPartition(DOMAIN, dims)
+        ext = bp.block_extent(Dim3(0, 0, 0))
+        surface = 2 * (ext.x + ext.y)  # 2D perimeter
+        return surface / ext.volume
+
+    shapes = {f"{d.x}x{d.y}": s2v(d) for d in SHAPES}
+    vols = {r[0]: r[3] for r in table}
+    # Orderings agree for equal partition counts.
+    assert (shapes["2x2"] < shapes["4x1"]) == (vols["2x2"] < vols["4x1"])
+    assert (shapes["3x3"] < shapes["9x1"]) == (vols["3x3"] < vols["9x1"])
+
+
+def test_benchmark_partition_evaluation(benchmark):
+    """pytest-benchmark hook: cost of evaluating one partition's volume."""
+    benchmark(comm_volume, DOMAIN, Dim3(3, 3, 1), RADIUS)

@@ -1,0 +1,80 @@
+"""Fig. 11 / §IV-B — node-aware data placement.
+
+The paper's scenario: a 1440x1452x700 domain on one 6-GPU Summit node
+yields six 720x484x700 subdomains (near the worst-case 3:2 aspect ratio a
+6-way node partition can produce).  Node-aware placement puts high-volume
+exchanges on NVLink and yields ~20% faster exchanges than trivial
+(linearized) placement.  We regenerate the comparison (QAP objective and
+measured exchange time per policy) and assert the speedup band.
+"""
+
+import pytest
+
+from repro.bench.sweeps import placement_comparison
+from repro.bench.reporting import format_table
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return placement_comparison(
+        size=(1440, 1452, 700),
+        policies=("node_aware", "trivial", "random"),
+        reps=2)
+
+
+def test_fig11_report(rows):
+    aware = next(r for r in rows if r.policy == "node_aware")
+    table = [(r.policy, f"{r.qap_cost:.6f}", f"{r.exchange_s * 1e3:.3f}",
+              f"{r.exchange_s / aware.exchange_s:.3f}x")
+             for r in rows]
+    text = format_table(
+        ["placement", "QAP objective (s)", "exchange (ms)", "vs node-aware"],
+        table,
+        title="Fig. 11: 1440x1452x700 on 1 Summit node "
+              "(paper: trivial is ~1.20x slower)")
+    save_result("fig11_placement", text)
+
+
+def test_node_aware_wins(rows):
+    by = {r.policy: r for r in rows}
+    assert by["node_aware"].exchange_s < by["trivial"].exchange_s
+    assert by["node_aware"].qap_cost <= by["trivial"].qap_cost
+
+
+def test_speedup_in_paper_band(rows):
+    """Paper: ~20% improvement.  Accept a 1.10x-1.45x band — the shape
+    claim is 'placement matters by tens of percent', not the digit."""
+    by = {r.policy: r for r in rows}
+    ratio = by["trivial"].exchange_s / by["node_aware"].exchange_s
+    assert 1.10 <= ratio <= 1.45, f"placement speedup {ratio:.3f}"
+
+
+def test_random_no_better_than_aware(rows):
+    by = {r.policy: r for r in rows}
+    assert by["node_aware"].exchange_s <= by["random"].exchange_s * 1.001
+
+
+def test_cube_domain_placement_neutral():
+    """§IV-B's caveat: for low-aspect subdomains, placement has little
+    effect — all exchanges are similar."""
+    rows = placement_comparison(size=(1080, 1080, 1080),
+                                policies=("node_aware", "trivial"), reps=1)
+    by = {r.policy: r for r in rows}
+    ratio = by["trivial"].exchange_s / by["node_aware"].exchange_s
+    assert ratio < 1.10
+
+
+def test_benchmark_placement_phase(benchmark):
+    """Cost of the full placement phase (flow matrix + exhaustive QAP)."""
+    from repro.dim3 import Dim3
+    from repro.radius import Radius
+    from repro.core.partition import HierarchicalPartition
+    from repro.core.placement import place_node_aware
+    from repro.topology import summit_node
+
+    hp = HierarchicalPartition(Dim3(1440, 1452, 700), 1, 6)
+    node = summit_node()
+    benchmark(place_node_aware, hp, Dim3(0, 0, 0), node,
+              Radius.constant(2), 4, 4)

@@ -1,0 +1,109 @@
+"""Fig. 12a — single-node communication specialization.
+
+For one node with fixed data per GPU (512^3 points, four SP quantities),
+sweep ranks/node ∈ {1, 2, 6} and the capability ladder
+(+remote/+colo/+peer/+kernel), with and without CUDA-aware MPI, and assert
+the paper's claims:
+
+* STAGED improves as ranks/node grows (more progress engines);
+* COLOCATED helps once more than one rank shares the node;
+* +peer adds on top; +kernel is roughly neutral;
+* at 6 ranks, full specialization ≈ 6x over STAGED and ≈ 2x over
+  CUDA-aware MPI;
+* CUDA-aware beats plain STAGED on-node, and specialization still beats
+  CUDA-aware.
+"""
+
+import pytest
+
+from repro.bench.sweeps import capability_ladder
+from repro.bench.reporting import format_series
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return capability_ladder(nodes=1, ranks_list=(1, 2, 6),
+                             cuda_aware=False, reps=2)
+
+
+@pytest.fixture(scope="module")
+def ladder_ca():
+    return capability_ladder(nodes=1, ranks_list=(1, 2, 6),
+                             cuda_aware=True, reps=2)
+
+
+def test_fig12a_report(ladder, ladder_ca):
+    text = "\n\n".join([
+        format_series(ladder, "ranks", "caps",
+                      title="Fig. 12a: 1 node, 512^3/GPU x4 SP quantities "
+                            "(no CUDA-aware)"),
+        format_series(ladder_ca, "ranks", "caps",
+                      title="Fig. 12a: same, with CUDA-aware MPI"),
+    ])
+    r = ladder[(6, "+remote")].mean / ladder[(6, "+kernel")].mean
+    rca = ladder_ca[(6, "+remote")].mean / ladder_ca[(6, "+kernel")].mean
+    text += (f"\n\nspecialization speedup @6 ranks: {r:.2f}x over STAGED "
+             f"(paper: ~6x), {rca:.2f}x over CUDAAWAREMPI (paper: ~2x)")
+    save_result("fig12a_single_node", text)
+
+
+def test_staged_improves_with_ranks(ladder):
+    t1 = ladder[(1, "+remote")].mean
+    t2 = ladder[(2, "+remote")].mean
+    t6 = ladder[(6, "+remote")].mean
+    assert t1 > t2 > t6
+
+
+def test_colocated_helps_multirank_only(ladder):
+    # 1 rank: no colocated pairs exist, +colo == +remote.
+    assert ladder[(1, "+colo")].mean == pytest.approx(
+        ladder[(1, "+remote")].mean, rel=0.02)
+    # 6 ranks: large improvement.
+    assert ladder[(6, "+colo")].mean < 0.5 * ladder[(6, "+remote")].mean
+
+
+def test_peer_adds_on_top(ladder):
+    assert ladder[(1, "+peer")].mean < 0.5 * ladder[(1, "+colo")].mean
+    assert ladder[(6, "+peer")].mean <= ladder[(6, "+colo")].mean * 1.01
+
+
+def test_kernel_roughly_neutral(ladder):
+    """'enabling the kernel exchange seems to have no effect' (§IV-C)."""
+    for ranks in (1, 2, 6):
+        assert ladder[(ranks, "+kernel")].mean == pytest.approx(
+            ladder[(ranks, "+peer")].mean, rel=0.10)
+
+
+def test_six_x_speedup_band(ladder):
+    ratio = ladder[(6, "+remote")].mean / ladder[(6, "+kernel")].mean
+    assert 4.0 <= ratio <= 9.0, f"specialization speedup {ratio:.2f}"
+
+
+def test_two_x_over_cuda_aware_band(ladder_ca):
+    ratio = ladder_ca[(6, "+remote")].mean / ladder_ca[(6, "+kernel")].mean
+    assert 1.5 <= ratio <= 4.0, f"vs CUDA-aware {ratio:.2f}"
+
+
+def test_cuda_aware_beats_staged_on_node(ladder, ladder_ca):
+    """§IV-C: on one node CUDA-aware MPI is faster than staging (it is
+    multi-node scaling where it falls apart, Fig. 12c)."""
+    for ranks in (1, 6):
+        assert ladder_ca[(ranks, "+remote")].mean < \
+            ladder[(ranks, "+remote")].mean
+
+
+def test_full_specialization_insensitive_to_ranks(ladder):
+    """The library's goal: good performance regardless of ranks/node."""
+    times = [ladder[(r, "+kernel")].mean for r in (1, 2, 6)]
+    assert max(times) / min(times) < 1.6
+
+
+def test_benchmark_single_node_exchange(benchmark):
+    """Simulator wall-clock for one fully-specialized 1-node exchange."""
+    from repro.bench.config import BenchConfig
+    from repro.bench.harness import build_domain
+
+    dd, _ = build_domain(BenchConfig(1, 6, 6, 930))
+    benchmark.pedantic(dd.exchange, rounds=3, iterations=1)

@@ -1,0 +1,84 @@
+"""Fig. 12b — weak scaling WITHOUT CUDA-aware MPI.
+
+750^3 points per GPU (cube-preserving total domain), 6 ranks and 6 GPUs
+per node, scaled over node counts.  Paper claims asserted here:
+
+* exchange time flattens out after ~32 nodes (when most nodes have the
+  full 26 distinct neighbors);
+* on-node specialization keeps helping, but the benefit shrinks with
+  scale — 1.16x at 256 nodes in the paper;
+* +remote (STAGED-only) stays roughly flat under weak scaling.
+
+The default sweep stops at 32 nodes (REPRO_FULL=1 extends to 256); the
+convergence assertions are written against the trend, not the endpoint.
+"""
+
+import pytest
+
+from repro.bench.sweeps import weak_scaling
+from repro.bench.reporting import format_series
+
+from conftest import NODE_COUNTS, save_result
+
+RUNGS = ("+remote", "+kernel")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return weak_scaling(node_counts=NODE_COUNTS, cuda_aware=False,
+                        rungs=RUNGS, reps=1)
+
+
+def test_fig12b_report(sweep):
+    text = format_series(
+        sweep, "nodes", "caps",
+        title="Fig. 12b: weak scaling, 750^3/GPU, 6r/6g per node, no "
+              "CUDA-aware")
+    ratios = [(n, sweep[(n, '+remote')].mean / sweep[(n, '+kernel')].mean)
+              for n in NODE_COUNTS]
+    text += "\n\nspecialization speedup (+remote / +kernel):\n" + "\n".join(
+        f"  {n:>4} nodes: {r:.3f}x" for n, r in ratios)
+    text += "\n(paper: 1.16x at 256 nodes)"
+    save_result("fig12b_weak_scaling", text)
+
+
+def test_specialized_time_flattens(sweep):
+    """+kernel rises while neighbor count grows, then flattens."""
+    times = [sweep[(n, "+kernel")].mean for n in NODE_COUNTS]
+    # Rising early...
+    assert times[1] > times[0]
+    # ...and the tail is flat: last two sweep points within 20%.
+    assert times[-1] == pytest.approx(times[-2], rel=0.20)
+
+
+def test_remote_roughly_flat(sweep):
+    times = [sweep[(n, "+remote")].mean for n in NODE_COUNTS[1:]]
+    assert max(times) / min(times) < 1.6
+
+
+def test_specialization_always_helps(sweep):
+    for n in NODE_COUNTS:
+        assert sweep[(n, "+kernel")].mean <= \
+            sweep[(n, "+remote")].mean * 1.02
+
+
+def test_benefit_shrinks_with_scale(sweep):
+    """From several-x on one node toward ~1.1-1.2x at scale."""
+    first = sweep[(NODE_COUNTS[0], "+remote")].mean \
+        / sweep[(NODE_COUNTS[0], "+kernel")].mean
+    last = sweep[(NODE_COUNTS[-1], "+remote")].mean \
+        / sweep[(NODE_COUNTS[-1], "+kernel")].mean
+    assert first > 3.0
+    assert 1.0 <= last <= 1.5
+    assert last < first
+
+
+def test_benchmark_weak_scaling_point(benchmark):
+    """Simulator wall-clock for one 8-node weak-scaling exchange."""
+    from repro.bench.config import BenchConfig
+    from repro.bench.harness import build_domain
+    from repro.bench.config import weak_scaling_extent
+
+    cfg = BenchConfig(8, 6, 6, weak_scaling_extent(48))
+    dd, _ = build_domain(cfg)
+    benchmark.pedantic(dd.exchange, rounds=2, iterations=1)

@@ -1,0 +1,82 @@
+"""Fig. 12c — weak scaling WITH CUDA-aware MPI.
+
+The paper's negative result: enabling CUDA-aware MPI degrades multi-node
+performance severely (the library uses the default stream and calls
+``cudaDeviceSynchronize`` per operation, §IV-D) and prevents the on-node
+specializations from helping.  Asserted claims:
+
+* CUDA-aware weak scaling degrades with node count (while Fig. 12b's
+  non-CA +kernel curve flattens);
+* at scale, CUDA-aware is slower than the plain STAGED path;
+* on-node specialization gives almost no benefit once CUDA-aware
+  off-node traffic dominates.
+"""
+
+import pytest
+
+from repro.bench.sweeps import weak_scaling
+from repro.bench.reporting import format_series
+
+from conftest import NODE_COUNTS, save_result
+
+RUNGS = ("+remote", "+kernel")
+
+
+@pytest.fixture(scope="module")
+def sweep_ca():
+    return weak_scaling(node_counts=NODE_COUNTS, cuda_aware=True,
+                        rungs=RUNGS, reps=1)
+
+
+@pytest.fixture(scope="module")
+def sweep_noca():
+    return weak_scaling(node_counts=NODE_COUNTS, cuda_aware=False,
+                        rungs=("+kernel",), reps=1)
+
+
+def test_fig12c_report(sweep_ca, sweep_noca):
+    text = format_series(
+        sweep_ca, "nodes", "caps",
+        title="Fig. 12c: weak scaling, 750^3/GPU, WITH CUDA-aware MPI")
+    text += "\n\n+kernel with vs without CUDA-aware (ms):\n"
+    for n in NODE_COUNTS:
+        ca = sweep_ca[(n, "+kernel")].mean * 1e3
+        noca = sweep_noca[(n, "+kernel")].mean * 1e3
+        text += f"  {n:>4} nodes: ca={ca:9.3f}  no-ca={noca:9.3f}\n"
+    save_result("fig12c_weak_scaling_ca", text)
+
+
+def test_cuda_aware_degrades_with_scale(sweep_ca):
+    times = [sweep_ca[(n, "+kernel")].mean for n in NODE_COUNTS]
+    assert times[-1] > 2.0 * times[0]
+    # Monotone-ish growth: each doubling no faster than the last point.
+    for a, b in zip(times, times[1:]):
+        assert b >= a * 0.95
+
+
+def test_cuda_aware_worse_than_staged_at_scale(sweep_ca, sweep_noca):
+    n = NODE_COUNTS[-1]
+    assert sweep_ca[(n, "+kernel")].mean > sweep_noca[(n, "+kernel")].mean
+
+
+def test_specialization_barely_helps_with_ca(sweep_ca):
+    """'intra-node optimizations cease to have the expected effect'."""
+    n = NODE_COUNTS[-1]
+    ratio = sweep_ca[(n, "+remote")].mean / sweep_ca[(n, "+kernel")].mean
+    assert ratio < 1.25
+
+
+def test_single_node_ca_is_fine(sweep_ca, sweep_noca):
+    """The degradation is a multi-node phenomenon; on one node CUDA-aware
+    full specialization equals the non-CA one (same methods selected)."""
+    assert sweep_ca[(1, "+kernel")].mean == pytest.approx(
+        sweep_noca[(1, "+kernel")].mean, rel=0.05)
+
+
+def test_benchmark_ca_exchange(benchmark):
+    from repro.bench.config import BenchConfig, weak_scaling_extent
+    from repro.bench.harness import build_domain
+
+    cfg = BenchConfig(4, 6, 6, weak_scaling_extent(24), cuda_aware=True)
+    dd, _ = build_domain(cfg)
+    benchmark.pedantic(dd.exchange, rounds=2, iterations=1)

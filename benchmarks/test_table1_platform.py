@@ -1,0 +1,66 @@
+"""Table I / Fig. 10 — the evaluation platform summary.
+
+Regenerates the platform description (the simulated Summit node and
+cluster) and the Fig. 10 bandwidth picture as an NVML-style matrix, and
+asserts the facts the paper's techniques rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import nvml
+from repro.topology import summit_machine, summit_node
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def node():
+    return summit_node()
+
+
+def test_table1_report(node):
+    machine = summit_machine(2)
+    text = "\n".join([
+        "Table I / Fig. 10 analogue (simulated platform)",
+        "",
+        machine.summary(),
+        "",
+        "NVML-style GPU topology matrix (link type : GB/s):",
+        nvml.topology_report(node),
+    ])
+    save_result("table1_platform", text)
+
+
+def test_bandwidth_hierarchy(node):
+    """Fig. 10's ordering: NVLink triad > X-Bus path > NIC rail."""
+    triad = node.bandwidth("gpu0", "gpu1")
+    cross = node.bandwidth("gpu0", "gpu3")
+    nic_rail = summit_machine(2).network.nic_port_bandwidth
+    assert triad > cross > nic_rail
+
+
+def test_matrix_is_two_triads(node):
+    m = nvml.bandwidth_matrix(node)
+    for i in range(6):
+        for j in range(6):
+            if i == j:
+                continue
+            same_triad = (i < 3) == (j < 3)
+            if same_triad:
+                assert m[i, j] == m[0, 1]
+            else:
+                assert m[i, j] == m[0, 3]
+    assert m[0, 1] > m[0, 3]
+
+
+def test_gpu_cpu_bandwidth_matches_nvlink(node):
+    """On Summit the CPU-GPU links are NVLink at the same rate as
+    GPU-GPU bricks — this is what makes STAGED's D2H/H2D cheap relative
+    to its host-MPI copy."""
+    assert node.bandwidth("gpu0", "cpu0") == node.bandwidth("gpu0", "gpu1")
+
+
+def test_benchmark_topology_discovery(benchmark, node):
+    """NVML-style discovery cost (what setup pays once per run)."""
+    benchmark(nvml.bandwidth_matrix, node)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Upwind advection with an asymmetric halo (per-direction Radius).
+
+First-order upwind schemes only read neighbors on the side the wind comes
+from, so the stencil radius is one-sided — the library allocates and
+exchanges halos only where the scheme actually reads, roughly halving
+communication versus a symmetric radius.  This example advects a blob
+diagonally across a periodic box on a simulated Summit node, verifies the
+result against the single-array reference, and shows the traffic saving.
+
+Run:  python examples/advection_upwind.py
+"""
+
+import numpy as np
+
+import repro
+from repro import Dim3
+from repro.radius import Radius
+from repro.stencils import AdvectionSolver, reference_advection, upwind_radius
+
+
+def build(radius):
+    cluster = repro.SimCluster.create(repro.summit_machine(1))
+    world = repro.MpiWorld.create(cluster, ranks_per_node=6)
+    return repro.DistributedDomain(world, size=Dim3(36, 24, 24),
+                                   radius=radius, quantities=1,
+                                   dtype="f8").realize()
+
+
+def main() -> None:
+    velocity = (0.4, 0.3, 0.0)   # CFL units; wind toward +x, +y
+    steps = 12
+
+    r = upwind_radius(velocity)
+    print(f"wind {velocity} -> upwind radius "
+          f"(xm,xp,ym,yp,zm,zp) = "
+          f"({r.xm},{r.xp},{r.ym},{r.yp},{r.zm},{r.zp})")
+
+    # A blob at the box center.
+    Z, Y, X = 24, 24, 36
+    z, y, x = np.meshgrid(np.arange(Z), np.arange(Y), np.arange(X),
+                          indexing="ij")
+    blob = np.exp(-(((x - 18) ** 2 + (y - 12) ** 2 + (z - 12) ** 2)
+                    / 18.0))
+
+    dd = build(r)
+    dd.set_global(0, blob)
+    solver = AdvectionSolver(dd, velocity)
+    history = solver.run(steps)
+    got = solver.solution()
+
+    ref = reference_advection(blob, velocity, steps)
+    print("matches single-array reference bit-for-bit:",
+          np.array_equal(got, ref))
+
+    # The blob's center of mass moved with the wind.
+    def center(u):
+        total = u.sum()
+        return (float((u * x).sum() / total), float((u * y).sum() / total))
+
+    cx0, cy0 = center(blob)
+    cx1, cy1 = center(got)
+    print(f"blob center: ({cx0:.2f}, {cy0:.2f}) -> ({cx1:.2f}, {cy1:.2f}) "
+          f"(expected drift ~({velocity[0] * steps:.1f}, "
+          f"{velocity[1] * steps:.1f}))")
+    print(f"mass conserved: {got.sum():.6f} vs {blob.sum():.6f}")
+
+    # Traffic comparison vs a symmetric radius-1 stencil.
+    asym = dd.bytes_per_exchange()
+    full = build(Radius.constant(1)).bytes_per_exchange()
+    print(f"\nexchange traffic: {asym / 1e3:.1f} kB/exchange one-sided vs "
+          f"{full / 1e3:.1f} kB symmetric ({full / asym:.1f}x saved)")
+    mean_step = sum(h.elapsed for h in history) / len(history)
+    print(f"mean step time: {mean_step * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""3D heat diffusion: the paper's motivating application class.
+
+Solves u_t = alpha * laplacian(u) with periodic boundaries using the
+distributed Jacobi solver on one simulated Summit node, verifies the result
+bit-for-bit against a single-array reference, and compares the
+bulk-synchronous schedule with the overlapped (compute-behind-exchange)
+schedule.
+
+Run:  python examples/heat_diffusion_3d.py
+"""
+
+import numpy as np
+
+import repro
+from repro import Dim3
+from repro.stencils import JacobiHeat, reference_jacobi_heat
+
+
+def build(size: int) -> "repro.DistributedDomain":
+    cluster = repro.SimCluster.create(repro.summit_machine(1))
+    world = repro.MpiWorld.create(cluster, ranks_per_node=6)
+    return repro.DistributedDomain(world, size=Dim3(size, size, size),
+                                   radius=1, quantities=1,
+                                   dtype="f4").realize()
+
+
+def main() -> None:
+    size, steps, alpha = 48, 10, 0.08
+
+    # A hot Gaussian blob in a cold box.
+    z, y, x = np.meshgrid(*(np.arange(size),) * 3, indexing="ij")
+    r2 = ((x - size / 2) ** 2 + (y - size / 2) ** 2 + (z - size / 2) ** 2)
+    init = np.exp(-r2 / (size / 6) ** 2).astype("f4")
+
+    print(f"heat diffusion: {size}^3, {steps} steps, alpha={alpha}")
+
+    dd = build(size)
+    dd.set_global(0, init)
+    solver = JacobiHeat(dd, alpha=alpha)
+    history = solver.run(steps)
+    got = solver.solution()
+
+    ref = reference_jacobi_heat(init, alpha, steps, radius=1)
+    print("matches single-array reference bit-for-bit:",
+          np.array_equal(got, ref))
+    print(f"peak temperature: {init.max():.4f} -> {got.max():.4f} "
+          f"(diffusing toward the mean {init.mean():.4f})")
+
+    mean_step = sum(h.elapsed for h in history) / len(history)
+    mean_xchg = sum(h.exchange.elapsed for h in history) / len(history)
+    print(f"mean step time: {mean_step * 1e3:.3f} ms "
+          f"(exchange: {mean_xchg * 1e3:.3f} ms, "
+          f"{100 * mean_xchg / mean_step:.0f}%)")
+
+    # Overlapped schedule: interior compute hides behind the exchange.
+    dd2 = build(size)
+    dd2.set_global(0, init)
+    solver2 = JacobiHeat(dd2, alpha=alpha)
+    history2 = solver2.run(steps, overlap=True)
+    assert np.array_equal(solver2.solution(), ref)
+    mean2 = sum(h.elapsed for h in history2) / len(history2)
+    print(f"overlapped step time: {mean2 * 1e3:.3f} ms "
+          f"({mean_step / mean2:.2f}x vs bulk-synchronous)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Mini weak- and strong-scaling study (paper Figs. 12b and 13).
+
+Sweeps node counts with 6 ranks / 6 GPUs per node on the simulated Summit
+cluster, for the +remote (all traffic through staged MPI) and +kernel
+(fully specialized) capability rungs, and prints the paper-style series.
+
+Run:  python examples/scaling_study.py [max_nodes]
+"""
+
+import sys
+
+from repro.bench.sweeps import strong_scaling, weak_scaling
+from repro.bench.reporting import format_series
+
+
+def main() -> None:
+    max_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    nodes = [n for n in (1, 2, 4, 8, 16, 32, 64, 128, 256) if n <= max_nodes]
+
+    print("weak scaling (750^3 points per GPU)...")
+    ws = weak_scaling(node_counts=nodes, rungs=("+remote", "+kernel"),
+                      reps=1)
+    print(format_series(ws, "nodes", "caps",
+                        title="Fig. 12b analogue: exchange time"))
+    print("\nspecialization speedup by scale:")
+    for n in nodes:
+        r = ws[(n, "+remote")].mean / ws[(n, "+kernel")].mean
+        print(f"  {n:>4} nodes: {r:.2f}x")
+
+    print("\nstrong scaling (fixed 1363^3 domain)...")
+    ss = strong_scaling(node_counts=nodes, rungs=("+remote", "+kernel"),
+                        reps=1)
+    print(format_series(ss, "nodes", "caps",
+                        title="Fig. 13 analogue: exchange time"))
+
+    base = ss[(nodes[0], "+kernel")].mean
+    print("\nstrong-scaling efficiency (+kernel, vs 1 node):")
+    for n in nodes:
+        t = ss[(n, "+kernel")].mean
+        print(f"  {n:>4} nodes: {base / t:5.2f}x faster")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Benchmark harness: the paper's experiment configurations and sweeps.
+
+The evaluation section describes every configuration with a string like
+``"2n/6r/6g/1180/ca"`` (§IV-C): nodes / ranks per node / GPUs per node /
+cube edge length / CUDA-aware flag.  :mod:`repro.bench.config` parses and
+formats those; :mod:`repro.bench.harness` builds the simulated machine and
+runs timed exchanges; :mod:`repro.bench.sweeps` packages the paper's
+figure-level experiments (capability ladders, weak/strong scaling,
+placement comparison); :mod:`repro.bench.reporting` renders the results as
+the text tables recorded in EXPERIMENTS.md.
+"""
+
+from .config import BenchConfig, parse_config, weak_scaling_extent
+from .harness import ExchangeTiming, run_exchange_config, build_domain
+from .sweeps import (
+    capability_ladder,
+    placement_comparison,
+    strong_scaling,
+    weak_scaling,
+)
+from .reporting import format_table, format_series
+
+__all__ = [
+    "BenchConfig",
+    "parse_config",
+    "weak_scaling_extent",
+    "ExchangeTiming",
+    "run_exchange_config",
+    "build_domain",
+    "capability_ladder",
+    "placement_comparison",
+    "strong_scaling",
+    "weak_scaling",
+    "format_table",
+    "format_series",
+]

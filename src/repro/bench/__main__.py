@@ -1,0 +1,172 @@
+"""Command-line entry point: regenerate the paper's evaluation artifacts.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig12a
+    python -m repro.bench fig12b --nodes 1 2 4 8
+    python -m repro.bench all --out results/
+
+Each experiment prints its paper-style table (and optionally writes it to
+``--out``).  The pytest modules under ``benchmarks/`` run the same code and
+additionally *assert* the paper's claims; this CLI is the quick-look tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..dim3 import Dim3
+from ..topology import summit_machine, summit_node
+from .config import BenchConfig
+from .harness import build_domain
+from .reporting import format_series, format_table
+from .sweeps import (
+    capability_ladder,
+    placement_comparison,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+def _fig03() -> str:
+    from ..radius import Radius
+    from ..core.halo import exchange_directions, send_region
+    from ..core.partition import BlockPartition
+
+    domain = Dim3(36, 36, 1)
+    radius = Radius(1, 1, 1, 1, 0, 0)
+    rows = []
+    for dims in (Dim3(2, 2, 1), Dim3(4, 1, 1), Dim3(3, 3, 1), Dim3(9, 1, 1)):
+        bp = BlockPartition(domain, dims)
+        dirs = exchange_directions(radius)
+        total = sum(send_region(bp.block_extent(i), radius, d).volume
+                    for i in bp.indices() for d in dirs)
+        rows.append((f"{dims.x}x{dims.y}", dims.volume, total))
+    return format_table(["partition", "subdomains", "V_d (points)"], rows,
+                        title="Fig. 3: communication volume vs partition")
+
+
+def _fig04() -> str:
+    from ..core.partition import HierarchicalPartition
+
+    hp = HierarchicalPartition(Dim3(4, 24, 2), 12, 4)
+    rows = [("node dims", str(hp.node_dims.as_tuple())),
+            ("gpu dims", str(hp.gpu_dims.as_tuple())),
+            ("combined", str(hp.global_dims.as_tuple()))]
+    return format_table(["quantity", "value"], rows,
+                        title="Fig. 4: 4x24x2 over 12 nodes x 4 GPUs")
+
+
+def _fig09() -> str:
+    from ..core.capabilities import Capability
+    from ..sim.trace import render_gantt
+
+    cfg = BenchConfig(1, 2, 4, 813)
+    dd, cluster = build_domain(cfg, Capability.all(), trace=True)
+    cluster.tracer.clear()
+    res = dd.exchange()
+    return (f"Fig. 9: exchange {res.elapsed * 1e3:.3f} ms, overlap factor "
+            f"{cluster.tracer.overlap_fraction():.2f}\n"
+            + render_gantt(cluster.tracer, width=110))
+
+
+def _table1() -> str:
+    from ..cuda import nvml
+
+    return (summit_machine(2).summary() + "\n\n"
+            + nvml.topology_report(summit_node()))
+
+
+def _fig11(_nodes: Optional[List[int]] = None) -> str:
+    rows = placement_comparison(
+        policies=("node_aware", "trivial", "random"), reps=2)
+    aware = rows[0].exchange_s
+    table = [(r.policy, f"{r.exchange_s * 1e3:.3f}",
+              f"{r.exchange_s / aware:.3f}x") for r in rows]
+    return format_table(["placement", "exchange (ms)", "vs node-aware"],
+                        table, title="Fig. 11: placement on 1440x1452x700")
+
+
+def _fig12a() -> str:
+    out = []
+    for ca in (False, True):
+        res = capability_ladder(nodes=1, ranks_list=(1, 2, 6),
+                                cuda_aware=ca, reps=1)
+        out.append(format_series(
+            res, "ranks", "caps",
+            title=f"Fig. 12a ({'with' if ca else 'no'} CUDA-aware)"))
+    return "\n\n".join(out)
+
+
+def _fig12b(nodes: List[int]) -> str:
+    res = weak_scaling(node_counts=nodes, rungs=("+remote", "+kernel"),
+                       reps=1)
+    return format_series(res, "nodes", "caps",
+                         title="Fig. 12b: weak scaling (no CUDA-aware)")
+
+
+def _fig12c(nodes: List[int]) -> str:
+    res = weak_scaling(node_counts=nodes, rungs=("+remote", "+kernel"),
+                       cuda_aware=True, reps=1)
+    return format_series(res, "nodes", "caps",
+                         title="Fig. 12c: weak scaling (CUDA-aware)")
+
+
+def _fig13(nodes: List[int]) -> str:
+    res = strong_scaling(node_counts=nodes, rungs=("+remote", "+kernel"),
+                         reps=1)
+    return format_series(res, "nodes", "caps",
+                         title="Fig. 13: strong scaling of 1363^3")
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig03": lambda args: _fig03(),
+    "fig04": lambda args: _fig04(),
+    "fig09": lambda args: _fig09(),
+    "table1": lambda args: _table1(),
+    "fig11": lambda args: _fig11(),
+    "fig12a": lambda args: _fig12a(),
+    "fig12b": lambda args: _fig12b(args.nodes),
+    "fig12c": lambda args: _fig12c(args.nodes),
+    "fig13": lambda args: _fig13(args.nodes),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation artifacts.")
+    parser.add_argument("experiment",
+                        choices=[*EXPERIMENTS, "all", "list"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--nodes", type=int, nargs="+",
+                        default=[1, 2, 4, 8],
+                        help="node counts for the scaling sweeps")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to also write <experiment>.txt into")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        text = EXPERIMENTS[name](args)
+        print(f"===== {name} =====")
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

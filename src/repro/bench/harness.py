@@ -1,0 +1,99 @@
+"""Build-and-measure harness for one experiment configuration.
+
+Follows the paper's measurement protocol (§IV-A): per exchange,
+``MPI_Barrier``, start timestamp, exchange, end timestamp; the reported
+value is the maximum wall time across ranks, averaged over repetitions.
+The simulation is deterministic, so a handful of repetitions (after a
+warm-up round to populate stream state) suffices where the paper used 30.
+
+Performance runs use symbolic buffers (``data_mode=False``) — identical
+code path, no materialized 750³ grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.capabilities import Capability
+from ..core.distributed import DistributedDomain
+from ..core.exchange import ExchangeResult
+from ..mpi.world import MpiWorld
+from ..radius import Radius
+from ..runtime.cluster import SimCluster
+from ..runtime.costmodel import CostModel
+from ..topology.summit import summit_node
+from ..topology.machine import Machine, NetworkSpec
+from ..topology.summit import FABRIC_LAT, IB_RAIL_BW
+from .config import BenchConfig
+
+#: defaults matching the paper's workloads: four single-precision
+#: quantities (§IV-C/D) and a radius-2 stencil (the surveyed codes use 2-3).
+DEFAULT_QUANTITIES = 4
+DEFAULT_RADIUS = 2
+DEFAULT_DTYPE = "f4"
+
+
+@dataclass(frozen=True)
+class ExchangeTiming:
+    """Aggregate of repeated measured exchanges for one configuration."""
+
+    config: BenchConfig
+    capabilities: Capability
+    results: Tuple[ExchangeResult, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(r.elapsed for r in self.results) / len(self.results)
+
+    @property
+    def best(self) -> float:
+        return min(r.elapsed for r in self.results)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.results[0].total_bytes
+
+    def label(self) -> str:
+        return self.config.label()
+
+
+def build_domain(config: BenchConfig,
+                 capabilities: Capability = Capability.all(),
+                 quantities: int = DEFAULT_QUANTITIES,
+                 radius: int = DEFAULT_RADIUS,
+                 dtype: str = DEFAULT_DTYPE,
+                 placement: str = "node_aware",
+                 cost: Optional[CostModel] = None,
+                 data_mode: bool = False,
+                 trace: bool = False
+                 ) -> Tuple[DistributedDomain, SimCluster]:
+    """Construct the simulated machine + realized domain for a config."""
+    node = summit_node(n_gpus=config.gpus_per_node)
+    machine = Machine(node=node, n_nodes=config.nodes,
+                      network=NetworkSpec(nic_ports=2,
+                                          nic_port_bandwidth=IB_RAIL_BW,
+                                          fabric_latency=FABRIC_LAT))
+    cluster = SimCluster.create(machine, cost=cost, data_mode=data_mode,
+                                trace=trace)
+    world = MpiWorld.create(cluster, config.ranks_per_node,
+                            cuda_aware=config.cuda_aware)
+    dd = DistributedDomain(world, size=config.size, radius=Radius.constant(radius),
+                           quantities=quantities, dtype=dtype,
+                           capabilities=capabilities, placement=placement)
+    dd.realize()
+    return dd, cluster
+
+
+def run_exchange_config(config: BenchConfig,
+                        capabilities: Capability = Capability.all(),
+                        reps: int = 2,
+                        warmup: int = 1,
+                        **build_kwargs) -> ExchangeTiming:
+    """Measure ``reps`` exchanges (after ``warmup``) for one configuration."""
+    dd, _cluster = build_domain(config, capabilities, **build_kwargs)
+    for _ in range(warmup):
+        dd.exchange()
+    results = tuple(dd.exchange() for _ in range(reps))
+    return ExchangeTiming(config=config, capabilities=capabilities,
+                          results=results)

@@ -1,0 +1,48 @@
+"""Text-table rendering for benchmark results."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(results: Mapping[Tuple, "object"], row_key_name: str,
+                  col_key_name: str, title: str = "",
+                  value=lambda t: f"{t.mean * 1e3:.3f} ms") -> str:
+    """Pivot ``{(row, col): timing}`` into a table (rows × columns).
+
+    Default cell: mean exchange time in milliseconds.
+    """
+    rows_keys: List = []
+    cols_keys: List = []
+    for (r, c) in results:
+        if r not in rows_keys:
+            rows_keys.append(r)
+        if c not in cols_keys:
+            cols_keys.append(c)
+    headers = [f"{row_key_name}\\{col_key_name}"] + [str(c) for c in cols_keys]
+    table_rows = []
+    for r in rows_keys:
+        row = [str(r)]
+        for c in cols_keys:
+            t = results.get((r, c))
+            row.append(value(t) if t is not None else "-")
+        table_rows.append(row)
+    return format_table(headers, table_rows, title=title)

@@ -1,0 +1,202 @@
+"""Exchange orchestration: build channels once, run halo exchanges on demand.
+
+:class:`ExchangePlan` performs the specialization phase (method selection
+per directed neighbor pair), runs the one-time setup (streams, buffers,
+peer enabling, IPC handshakes), and then executes exchange rounds following
+the paper's measurement protocol (§IV-A): ``MPI_Barrier``, timestamp,
+exchange, timestamp, report the **maximum across ranks**.
+
+An exchange round issues, per rank and in the library's order: receives
+first, then the straight-line CUDA enqueues and gated MPI sends, then the
+COLOCATED destination-side enqueues; the simulated polling loop (unordered
+gated issues) finishes receives as they land.  The round ends when every
+rank's terminal operations complete — each rank's CPU then blocks on its
+own completion join, so consecutive rounds cannot overlap (the library's
+``exchange()`` returns only when done).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from ..errors import DeadlockError
+from ..sim import Task
+from ..sim.tasks import Dep
+from .channels import Channel, RoundOps
+from .halo import exchange_directions
+from .methods import ExchangeMethod, select_method
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .distributed import DistributedDomain, Subdomain
+
+#: called per subdomain after sends are enqueued; returns extra terminal
+#: deps for the owning rank (used for compute/communication overlap)
+OverlapLauncher = Callable[["Subdomain"], Sequence[Dep]]
+
+
+@dataclass(frozen=True)
+class ExchangeResult:
+    """Timing and traffic accounting for one exchange round."""
+
+    start: float                      #: barrier-synchronized start (virtual s)
+    end: float                        #: latest rank completion (virtual s)
+    rank_finish: Dict[int, float]     #: rank index → completion time
+    method_counts: Dict[ExchangeMethod, int]
+    method_bytes: Dict[ExchangeMethod, int]
+
+    @property
+    def elapsed(self) -> float:
+        """The paper's metric: max over ranks of (finish − barrier)."""
+        return self.end - self.start
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.method_bytes.values())
+
+    @property
+    def imbalance(self) -> float:
+        """Load imbalance: slowest rank time / mean rank time (≥ 1).
+
+        The paper reports the max across ranks; this quantifies how far
+        the max sits above the average — useful when judging placement
+        and partition quality on asymmetric domains.
+        """
+        times = [t - self.start for t in self.rank_finish.values()]
+        mean = sum(times) / len(times)
+        if mean <= 0:
+            return 1.0
+        return max(times) / mean
+
+    def summary(self) -> str:
+        """Multi-line text: elapsed time and per-method traffic."""
+        lines = [f"exchange: {self.elapsed * 1e3:.3f} ms, "
+                 f"{self.total_bytes / 1e6:.1f} MB moved"]
+        for m in ExchangeMethod:
+            if self.method_counts.get(m):
+                lines.append(
+                    f"  {m.value:<10} {self.method_counts[m]:>5} transfers, "
+                    f"{self.method_bytes[m] / 1e6:>9.1f} MB")
+        return "\n".join(lines)
+
+
+class ExchangePlan:
+    """Specialized, reusable halo-exchange schedule for a domain."""
+
+    def __init__(self, dd: "DistributedDomain",
+                 consolidate_remote: bool = False) -> None:
+        self.dd = dd
+        self.channels: List[Channel] = []
+        dirs = exchange_directions(dd.radius)
+        for src in dd.subdomains:
+            for d in dirs:
+                nbr = dd.partition.neighbor_or_none(src.spec.global_idx, d,
+                                                    dd.periodic)
+                if nbr is None:
+                    continue  # non-periodic boundary: nothing to exchange
+                dst = dd.subdomain_at(nbr)
+                method = select_method(src, dst, dd.capabilities)
+                self.channels.append(Channel(dd, src, dst, d, method))
+        self.groups = []
+        self.messages_saved = 0
+        if consolidate_remote:
+            from .consolidation import build_groups
+            self.groups, self.messages_saved = build_groups(self.channels)
+        self._setup_done = False
+
+    # -- accounting ---------------------------------------------------------------
+    def method_counts(self) -> Dict[ExchangeMethod, int]:
+        """How many channels each exchange method serves."""
+        out: Dict[ExchangeMethod, int] = defaultdict(int)
+        for ch in self.channels:
+            out[ch.method] += 1
+        return dict(out)
+
+    def method_bytes(self) -> Dict[ExchangeMethod, int]:
+        """Bytes per exchange moved by each method."""
+        out: Dict[ExchangeMethod, int] = defaultdict(int)
+        for ch in self.channels:
+            out[ch.method] += ch.nbytes
+        return dict(out)
+
+    # -- setup ---------------------------------------------------------------------
+    def setup(self) -> None:
+        """One-time buffer/stream allocation and IPC handshakes.
+
+        Runs the engine to quiescence afterwards so setup-time virtual cost
+        is spent before the first measured exchange, as in the paper.
+        """
+        if self._setup_done:
+            return
+        for g in self.groups:
+            g.setup()   # shared pinned buffers before member setup
+        for ch in self.channels:
+            ch.setup_phase1()
+        self.dd.cluster.run()
+        for ch in self.channels:
+            ch.setup_phase2()
+        self.dd.cluster.run()
+        self._setup_done = True
+
+    # -- one measured round ------------------------------------------------------------
+    def run_exchange(self, overlap_launcher: Optional[OverlapLauncher] = None
+                     ) -> ExchangeResult:
+        """Execute one barrier-timed halo exchange to completion."""
+        assert self._setup_done, "call setup() before run_exchange()"
+        dd = self.dd
+        world = dd.world
+        barrier_join = world.barrier()
+
+        ops: List[RoundOps] = [RoundOps() for _ in self.channels]
+        group_ops: List[RoundOps] = [RoundOps() for _ in self.groups]
+        for g, o in zip(self.groups, group_ops):
+            g.post_recv(o)      # consolidated receives first
+        for ch, o in zip(self.channels, ops):
+            ch.post_recv(o)
+        for ch, o in zip(self.channels, ops):
+            ch.enqueue_src(o)
+        for g, o in zip(self.groups, group_ops):
+            g.finish_src(o)     # one send per rank pair, after staging
+        for ch, o in zip(self.channels, ops):
+            ch.enqueue_dst(o)
+
+        rank_deps: Dict[int, List[Dep]] = defaultdict(list)
+        for ch, o in zip(self.channels, ops):
+            rank_deps[ch.src.rank.index].extend(o.src_terminals)
+            rank_deps[ch.dst.rank.index].extend(o.dst_terminals)
+        for g, o in zip(self.groups, group_ops):
+            rank_deps[g.src_rank.index].extend(o.src_terminals)
+            rank_deps[g.dst_rank.index].extend(o.dst_terminals)
+
+        if overlap_launcher is not None:
+            for sub in dd.subdomains:
+                rank_deps[sub.rank.index].extend(overlap_launcher(sub))
+
+        joins: Dict[int, Task] = {}
+        for rank in world.ranks:
+            j = Task(dd.cluster.engine, name=f"xdone/r{rank.index}",
+                     duration=0.0, deps=rank_deps.get(rank.index, ()),
+                     lane=rank.lane, kind="sync", tracer=None)
+            j.submit()
+            # exchange() blocks: the rank's next CPU op waits for its join.
+            rank.ctx.cpu_barrier_dep(j)
+            joins[rank.index] = j
+
+        dd.cluster.run()
+        stuck = [f"r{i}" for i, j in joins.items() if not j.completed]
+        if stuck:
+            um = self.dd.world.transport.unmatched()
+            raise DeadlockError(
+                f"exchange never completed on ranks {stuck[:8]}; "
+                f"unmatched MPI ops: {um[:8]}")
+
+        t0 = barrier_join.completion_time or 0.0
+        finishes = {i: (j.completion_time or t0) for i, j in joins.items()}
+        return ExchangeResult(
+            start=t0,
+            end=max(finishes.values()),
+            rank_finish=finishes,
+            method_counts=self.method_counts(),
+            method_bytes=self.method_bytes(),
+        )

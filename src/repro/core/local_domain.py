@@ -1,0 +1,97 @@
+"""Per-GPU subdomain storage.
+
+A :class:`LocalDomain` owns one device allocation holding every quantity of
+one subdomain, including the halo shells: shape ``(nq, Z, Y, X)`` with
+``(Z, Y, X) = (radius.low + extent + radius.high).as_zyx()`` — XYZ storage
+order (x contiguous), as in the paper's Fig. 6.
+
+In data mode the backing NumPy array is real and views are writable; in
+symbolic mode only the allocation size is tracked and view accessors raise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..dim3 import Dim3
+from ..errors import ConfigurationError, CudaError
+from ..radius import Radius
+from .halo import Region, allocated_extent, recv_region, send_region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cuda.device import Device
+    from ..cuda.memory import DeviceBuffer
+
+
+class LocalDomain:
+    """One subdomain's grid data on one GPU."""
+
+    def __init__(self, device: "Device", extent: Dim3, radius: Radius,
+                 n_quantities: int, dtype, label: str = "") -> None:
+        if n_quantities < 1:
+            raise ConfigurationError("need at least one quantity")
+        if not extent.all_positive():
+            raise ConfigurationError(f"subdomain extent must be positive: {extent}")
+        self.device = device
+        self.extent = extent
+        self.radius = radius
+        self.n_quantities = n_quantities
+        self.dtype = np.dtype(dtype)
+        self.alloc_extent = allocated_extent(extent, radius)
+        shape = (n_quantities, *self.alloc_extent.as_zyx())
+        self.buffer: "DeviceBuffer" = device.alloc_array(
+            shape, self.dtype, label or f"domain@g{device.global_index}")
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The full backing array ``(nq, Z, Y, X)`` (data mode only)."""
+        self.buffer.check_alive()
+        if self.buffer.array is None:
+            raise CudaError("domain data views unavailable in symbolic mode")
+        return self.buffer.array
+
+    def quantity_view(self, q: int) -> np.ndarray:
+        """Full (halo-inclusive) view of quantity ``q``."""
+        if not 0 <= q < self.n_quantities:
+            raise ConfigurationError(f"quantity {q} out of range")
+        return self.array[q]
+
+    def interior_region(self) -> Region:
+        return Region(self.radius.low, self.extent)
+
+    def interior_view(self, q: int) -> np.ndarray:
+        """Halo-free view of quantity ``q``, shape ``extent.as_zyx()``."""
+        return self.quantity_view(q)[self.interior_region().slices()]
+
+    def region_view(self, q: int, region: Region) -> np.ndarray:
+        """View of an arbitrary local region of quantity ``q``."""
+        return self.quantity_view(q)[region.slices()]
+
+    def set_interior(self, q: int, values: np.ndarray) -> None:
+        """Write quantity ``q``'s interior (shape must match ``(z, y, x)``)."""
+        view = self.interior_view(q)
+        if values.shape != view.shape:
+            raise ConfigurationError(
+                f"interior shape {view.shape} != values {values.shape}")
+        view[:] = values
+
+    # -- geometry shortcuts -------------------------------------------------------
+    def send_region(self, direction: Dim3) -> Region:
+        return send_region(self.extent, self.radius, direction)
+
+    def recv_region(self, direction: Dim3) -> Region:
+        return recv_region(self.extent, self.radius, direction)
+
+    def region_nbytes(self, region: Region) -> int:
+        """Bytes of one region across all quantities."""
+        return region.volume * self.n_quantities * self.dtype.itemsize
+
+    def free(self) -> None:
+        self.buffer.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LocalDomain(extent={self.extent.as_tuple()}, "
+                f"nq={self.n_quantities}, gpu{self.device.global_index})")

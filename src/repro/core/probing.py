@@ -1,0 +1,93 @@
+"""Empirical bandwidth probing for placement (§VI future work).
+
+The paper's placement phase uses *theoretical* NVML bandwidths and lists
+"empirical measurements of latency, bandwidth and distance between GPUs"
+(after Faraji et al.) as future work.  This module implements it: probe
+transfers are issued on the live simulated hardware, timed with the virtual
+clock, and distilled into an achieved-bandwidth matrix that can replace the
+NVML matrix in the QAP.
+
+Because probing runs through the same ``cudaMemcpyPeerAsync`` path the
+exchange will use, it automatically reflects effects the theoretical matrix
+misses — peer-efficiency factors, and most importantly the driver-staged
+bounce on pairs *without* peer access, which the NVML matrix reports at
+full path bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import PlacementError
+from ..sim import Resource
+from ..cuda.runtime import CudaContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.cluster import SimCluster
+
+
+def measure_gpu_bandwidth(cluster: "SimCluster", node_index: int = 0,
+                          probe_bytes: int = 32 << 20,
+                          repeats: int = 2) -> np.ndarray:
+    """Measure achieved GPU-GPU bandwidth on one node (B/s matrix).
+
+    For every ordered device pair, transfer ``probe_bytes`` with
+    ``cudaMemcpyPeerAsync`` (peer access enabled where the topology allows,
+    driver-staged otherwise), timed in isolation — probes are serialized so
+    contention does not pollute the measurement, like a well-written
+    microbenchmark.  The diagonal reports device-internal copy bandwidth.
+
+    Virtual time is spent; call during setup, never inside a timed region.
+    """
+    if not 0 <= node_index < len(cluster.nodes):
+        raise PlacementError(f"node {node_index} out of range")
+    node = cluster.nodes[node_index]
+    devices = node.devices
+    n = len(devices)
+    eng = cluster.engine
+    cpu = Resource(eng, f"n{node_index}/probe/cpu")
+    ctx = CudaContext(cluster, cpu, f"n{node_index}/probe")
+
+    bw = np.zeros((n, n), dtype=float)
+    bufs = [d.alloc(probe_bytes, f"probe/g{d.local_index}") for d in devices]
+    streams = [ctx.create_stream(d) for d in devices]
+    cluster.run()
+
+    for i, src in enumerate(devices):
+        for j, dst in enumerate(devices):
+            if src.can_access_peer(dst) and src is not dst:
+                src.enable_peer_access(dst)
+            best = 0.0
+            for _ in range(repeats):
+                t0 = eng.now
+                if src is dst:
+                    scratch = src.alloc(probe_bytes, "probe/scratch")
+                    ctx.memcpy_async(scratch, bufs[i], streams[i],
+                                     what="probe-d2d")
+                    cluster.run()
+                    scratch.free()
+                else:
+                    ctx.memcpy_peer_async(bufs[j], bufs[i], streams[i],
+                                          what="probe-peer")
+                    cluster.run()
+                elapsed = eng.now - t0
+                if elapsed > 0:
+                    best = max(best, probe_bytes / elapsed)
+            bw[i, j] = best
+
+    for b in bufs:
+        b.free()
+    if np.any(bw <= 0):
+        raise PlacementError("probing produced non-positive bandwidth")
+    return bw
+
+
+def empirical_distance_matrix(cluster: "SimCluster", node_index: int = 0,
+                              probe_bytes: int = 32 << 20) -> np.ndarray:
+    """Measured-bandwidth reciprocal, ready for the placement QAP."""
+    from ..topology.distance import distance_matrix_from_bandwidth
+
+    return distance_matrix_from_bandwidth(
+        measure_gpu_bandwidth(cluster, node_index, probe_bytes))

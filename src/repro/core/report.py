@@ -1,0 +1,141 @@
+"""Human-readable reports of partition and placement decisions.
+
+The paper explains its decomposition with a worked diagram (Fig. 4) and its
+placement with a node sketch (Fig. 5/11).  These helpers render the same
+information for *any* configuration: an ASCII z-slice map of which
+subdomain owns which region, a step-by-step prime-factor split narrative,
+and a per-node placement table showing where each subdomain landed and
+over which link classes its heavy exchanges travel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..dim3 import Dim3
+from ..errors import ConfigurationError
+from .partition import HierarchicalPartition, prime_factors
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .distributed import DistributedDomain
+
+#: subdomain id glyphs for slice maps
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def partition_narrative(size: Dim3, n_nodes: int, gpus_per_node: int) -> str:
+    """The Fig. 4 walkthrough, for arbitrary inputs.
+
+    Re-runs the prime-factor recursion, narrating which axis each factor
+    splits and the block shape after every step.
+    """
+    lines = [f"decompose {size.as_tuple()} among {n_nodes} node(s) x "
+             f"{gpus_per_node} GPU(s)"]
+
+    def narrate(level: str, target_size: Dim3, parts: int) -> Dim3:
+        dims = Dim3.one()
+        factors = prime_factors(parts)
+        lines.append(f"{level}: prime factors of {parts}: "
+                     f"{', '.join(map(str, factors)) or '(none)'}")
+        for f in factors:
+            best_axis = -1
+            for axis in range(3):
+                if dims[axis] * f > target_size[axis]:
+                    continue
+                if best_axis < 0 or (target_size[axis] * dims[best_axis]
+                                     > target_size[best_axis] * dims[axis]):
+                    best_axis = axis
+            if best_axis < 0:
+                raise ConfigurationError(
+                    f"factor {f} does not fit any axis of {target_size}")
+            dims = dims.with_axis(best_axis, dims[best_axis] * f)
+            block = target_size // dims
+            lines.append(f"  split {'xyz'[best_axis]} by {f} -> index space "
+                         f"{dims.as_tuple()}, block ~{block.as_tuple()}")
+        return dims
+
+    hp = HierarchicalPartition(size, n_nodes, gpus_per_node)
+    narrate("node level", size, n_nodes)
+    rep = hp.node_partition.block_extent(Dim3.zero())
+    narrate("gpu level", rep, gpus_per_node)
+    lines.append(f"combined subdomain grid: {hp.global_dims.as_tuple()} "
+                 f"({hp.global_dims.volume} subdomains)")
+    return "\n".join(lines)
+
+
+def slice_map(partition: HierarchicalPartition, z: int = 0,
+              max_width: int = 96) -> str:
+    """An ASCII map of one z-plane: which subdomain id owns each cell.
+
+    Cells are downsampled to fit ``max_width`` columns; subdomain ids wrap
+    through the glyph alphabet for grids larger than 62.
+    """
+    size = partition.size
+    if not 0 <= z < size.z:
+        raise ConfigurationError(f"z={z} outside domain depth {size.z}")
+    # Precompute x/y boundaries from the hierarchical blocks.
+    owner = {}
+    for s in partition.subdomains():
+        if not (s.origin.z <= z < s.origin.z + s.extent.z):
+            continue
+        lin = partition.global_dims.linearize(s.global_idx)
+        owner[(s.origin.x, s.origin.x + s.extent.x,
+               s.origin.y, s.origin.y + s.extent.y)] = lin
+
+    def owner_at(x: int, y: int) -> int:
+        for (x0, x1, y0, y1), lin in owner.items():
+            if x0 <= x < x1 and y0 <= y < y1:
+                return lin
+        raise ConfigurationError(f"no owner at ({x}, {y}, {z})")
+
+    step_x = max(1, size.x // max_width)
+    step_y = max(1, size.y // (max_width // 2))
+    lines = [f"z-slice {z} of {size.as_tuple()} "
+             f"(1 char ~ {step_x}x{step_y} cells, glyph = subdomain id "
+             f"mod {len(_GLYPHS)})"]
+    for y in range(0, size.y, step_y):
+        row = []
+        for x in range(0, size.x, step_x):
+            row.append(_GLYPHS[owner_at(x, y) % len(_GLYPHS)])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def placement_table(dd: "DistributedDomain") -> str:
+    """Per-subdomain placement report for a realized domain.
+
+    Shows each subdomain's grid index, extent, hosting node/GPU/rank, and
+    the link class its heaviest on-node exchange uses — the quickest way to
+    eyeball whether the QAP kept big faces on NVLink.
+    """
+    from .halo import exchange_directions, send_region
+
+    lines = [f"{'sub':>4} {'grid idx':>10} {'extent':>15} {'node':>4} "
+             f"{'gpu':>4} {'rank':>4}  heaviest on-node exchange"]
+    dirs = exchange_directions(dd.radius)
+    for s in sorted(dd.subdomains, key=lambda s: s.linear_id):
+        best: Optional[str] = None
+        best_bytes = -1
+        for d in dirs:
+            nbr_idx = dd.partition.neighbor_or_none(s.spec.global_idx, d,
+                                                    dd.periodic)
+            if nbr_idx is None:
+                continue
+            nbr = dd.subdomain_at(nbr_idx)
+            if nbr.device.node is not s.device.node or nbr is s:
+                continue
+            nbytes = (send_region(s.extent, dd.radius, d).volume
+                      * dd.quantities * dd.dtype.itemsize)
+            if nbytes > best_bytes:
+                best_bytes = nbytes
+                link = s.device.node.topology.gpu_link_type(
+                    s.device.local_index, nbr.device.local_index)
+                best = (f"-> sub {nbr.linear_id} on gpu"
+                        f"{nbr.device.global_index} via {link.value} "
+                        f"({nbytes / 1e6:.2f} MB)")
+        lines.append(
+            f"{s.linear_id:>4} {str(s.spec.global_idx.as_tuple()):>10} "
+            f"{str(s.extent.as_tuple()):>15} {s.device.node.index:>4} "
+            f"{s.device.global_index:>4} {s.rank.index:>4}  "
+            f"{best or '(no on-node neighbor)'}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Simulated CUDA runtime.
+
+This package mirrors the slice of CUDA the paper's library uses (§II-A):
+
+* devices with memory accounting and peer access
+  (:class:`~repro.cuda.device.Device`),
+* device / pinned-host buffers (:mod:`repro.cuda.memory`),
+* streams and events with CUDA ordering semantics
+  (:mod:`repro.cuda.stream`),
+* async copies — ``cudaMemcpyAsync`` (H2D/D2H/D2D) and
+  ``cudaMemcpyPeerAsync`` — and kernel launches, issued through a per-rank
+  :class:`~repro.cuda.runtime.CudaContext` that charges CPU issue overhead
+  and places each operation on the contended link/engine resources,
+* the ``cudaIpc*`` interface for cross-process buffer sharing
+  (:mod:`repro.cuda.ipc`),
+* NVML-style topology discovery (:mod:`repro.cuda.nvml`).
+
+In ``data_mode`` every copy and kernel really moves NumPy data (at virtual
+completion time), so exchange correctness is testable bit-for-bit; in
+symbolic mode only sizes and timing are tracked.
+"""
+
+from .device import Device
+from .memory import DeviceBuffer, PinnedBuffer
+from .stream import Event, Stream
+from .runtime import CudaContext
+from .ipc import IpcMemHandle
+from . import nvml
+
+__all__ = [
+    "Device",
+    "DeviceBuffer",
+    "PinnedBuffer",
+    "Stream",
+    "Event",
+    "CudaContext",
+    "IpcMemHandle",
+    "nvml",
+]

@@ -1,0 +1,133 @@
+"""The simulated GPU.
+
+Each :class:`Device` owns the contended engine resources that shape on-GPU
+concurrency:
+
+* ``kernel_engine`` — pack/unpack/compute kernels serialize here.  Pack
+  kernels are memory-bandwidth-bound, so one-at-a-time per device is the
+  honest model even though real GPUs multiplex blocks.
+* ``copy_d2h`` / ``copy_h2d`` — the two async copy engines of a V100; one
+  transfer per direction at a time, both directions concurrently.
+* ``default_stream`` — held by CUDA-aware MPI operations, reproducing the
+  library behaviour the paper profiled (§IV-D): device-buffer sends
+  serialize against each other and against anything else the MPI runtime
+  puts on the default stream.
+
+Memory is accounted so oversubscribing a 16 GiB V100 raises
+:class:`~repro.errors.CudaMemoryError` instead of silently "working".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set, Tuple
+
+import numpy as np
+
+from ..errors import CudaError, CudaMemoryError, PeerAccessError
+from ..sim import Resource
+from .memory import DeviceBuffer, make_array, nbytes_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.cluster import SimCluster, SimNode
+    from .stream import Stream
+
+
+class Device:
+    """One simulated GPU: memory, engines, peer access (see module doc)."""
+
+    def __init__(self, cluster: "SimCluster", node: "SimNode",
+                 local_index: int) -> None:
+        self.cluster = cluster
+        self.node = node
+        self.local_index = local_index
+        self.global_index = cluster.machine.global_gpu(node.index, local_index)
+        self.spec = node.topology.gpu
+        self.memory_bytes = self.spec.memory_bytes
+        self.used_bytes = 0
+        self._alloc_count = 0
+        eng = cluster.engine
+        base = f"n{node.index}/g{local_index}"
+        self.lane = base
+        self.kernel_engine = Resource(eng, f"{base}/kern", capacity=1)
+        self.copy_d2h = Resource(eng, f"{base}/d2h", capacity=1)
+        self.copy_h2d = Resource(eng, f"{base}/h2d", capacity=1)
+        self.default_stream_res = Resource(eng, f"{base}/stream0", capacity=1)
+        self._peer_enabled: Set[int] = set()
+        self.streams: List["Stream"] = []
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def component(self) -> str:
+        """This GPU's component id in its node topology."""
+        return self.node.topology.gpu_component(self.local_index)
+
+    @property
+    def cpu_component(self) -> str:
+        """The socket component this GPU is attached to."""
+        return self.node.topology.gpu_cpu_component(self.local_index)
+
+    def same_node(self, other: "Device") -> bool:
+        """Whether both devices live on the same physical node."""
+        return self.node is other.node
+
+    # -- peer access ----------------------------------------------------------
+    def can_access_peer(self, other: "Device") -> bool:
+        """``cudaDeviceCanAccessPeer``: same node and topology allows it."""
+        if other is self:
+            return True
+        if not self.same_node(other):
+            return False
+        return self.node.topology.peer_accessible(self.local_index,
+                                                  other.local_index)
+
+    def enable_peer_access(self, other: "Device") -> None:
+        """``cudaDeviceEnablePeerAccess``; idempotent like the real call
+        would be after swallowing ``cudaErrorPeerAccessAlreadyEnabled``."""
+        if other is self:
+            return
+        if not self.can_access_peer(other):
+            raise PeerAccessError(
+                f"gpu{self.global_index} cannot access gpu{other.global_index}")
+        self._peer_enabled.add(other.global_index)
+
+    def peer_enabled(self, other: "Device") -> bool:
+        """Whether this device has *enabled* peer access to ``other``."""
+        return other is self or other.global_index in self._peer_enabled
+
+    # -- memory ---------------------------------------------------------------
+    def alloc(self, nbytes: int, label: str = "") -> DeviceBuffer:
+        """Allocate ``nbytes`` of raw device memory."""
+        return self._alloc(nbytes, (nbytes,), np.uint8, label)
+
+    def alloc_array(self, shape: Tuple[int, ...], dtype,
+                    label: str = "") -> DeviceBuffer:
+        """Allocate a typed device array (zero-initialized in data mode)."""
+        return self._alloc(nbytes_of(shape, dtype), shape, dtype, label)
+
+    def _alloc(self, nbytes: int, shape, dtype, label: str) -> DeviceBuffer:
+        if nbytes < 0:
+            raise CudaError(f"negative allocation size {nbytes}")
+        if self.used_bytes + nbytes > self.memory_bytes:
+            raise CudaMemoryError(
+                f"gpu{self.global_index}: allocating {nbytes} B would exceed "
+                f"{self.memory_bytes} B capacity "
+                f"({self.used_bytes} B already in use)")
+        self.used_bytes += nbytes
+        self._alloc_count += 1
+        if not label:
+            label = f"g{self.global_index}/buf{self._alloc_count}"
+        arr = make_array(shape, dtype, symbolic=not self.cluster.data_mode)
+        return DeviceBuffer(self, nbytes, arr, label)
+
+    def _release(self, nbytes: int) -> None:
+        self.used_bytes -= nbytes
+        if self.used_bytes < 0:
+            raise CudaError(f"gpu{self.global_index}: memory accounting underflow")
+
+    @property
+    def free_bytes(self) -> int:
+        return self.memory_bytes - self.used_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Device(g{self.global_index} = n{self.node.index}."
+                f"g{self.local_index}, {self.used_bytes}/{self.memory_bytes}B)")

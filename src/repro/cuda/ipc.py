@@ -1,0 +1,71 @@
+"""The ``cudaIpc*`` interface: sharing device buffers across processes.
+
+The COLOCATEDMEMCPY method (§III-C, Fig. 7b) bypasses MPI for every
+exchange after a one-time setup: the destination rank converts its receive
+buffer into an opaque :class:`IpcMemHandle`, ships the handle through MPI,
+and the source rank opens it to obtain a device pointer valid in its own
+address space.  From then on, an ordinary ``cudaMemcpyPeerAsync`` moves the
+halo with no MPI involvement.
+
+In simulation, "address spaces" are ranks; opening a handle validates the
+real CUDA constraints (same node, buffer alive, different process) and
+charges the documented setup cost, then simply returns the shared buffer —
+memory unification is free for us, the *protocol* is what's reproduced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import IpcError
+from .memory import DeviceBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import CudaContext
+
+_handle_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class IpcMemHandle:
+    """Opaque handle to a device allocation (``cudaIpcMemHandle_t``).
+
+    Handles are plain picklable values, so they can be shipped through the
+    simulated MPI exactly as the paper ships them (Fig. 7b steps 1-3).
+    """
+
+    buffer: DeviceBuffer
+    owner_rank: int
+    id: int = field(default_factory=lambda: next(_handle_ids))
+
+
+def ipc_get_mem_handle(ctx: "CudaContext", buffer: DeviceBuffer,
+                       owner_rank: int) -> IpcMemHandle:
+    """``cudaIpcGetMemHandle``: create a shareable handle for ``buffer``."""
+    buffer.check_alive()
+    ctx.issue("ipcGetMemHandle")
+    return IpcMemHandle(buffer=buffer, owner_rank=owner_rank)
+
+
+def ipc_open_mem_handle(ctx: "CudaContext", handle: IpcMemHandle,
+                        opener_rank: int, opener_node_index: int) -> DeviceBuffer:
+    """``cudaIpcOpenMemHandle``: map the remote buffer into this process.
+
+    Raises :class:`~repro.errors.IpcError` when the real call would fail:
+    opening in the owning process, or across nodes.  Charges the (relatively
+    expensive) one-time setup cost to the opening rank's CPU — this is why
+    COLOCATEDMEMCPY beats CUDA-aware MPI, which implicitly re-does this work
+    per transfer (§IV-C).
+    """
+    handle.buffer.check_alive()
+    if opener_rank == handle.owner_rank:
+        raise IpcError("cudaIpcOpenMemHandle within the owning process")
+    if handle.buffer.device.node.index != opener_node_index:
+        raise IpcError(
+            f"cannot open IPC handle across nodes "
+            f"(buffer on node {handle.buffer.device.node.index}, "
+            f"opener on node {opener_node_index})")
+    ctx.issue("ipcOpenMemHandle", cost=ctx.cluster.cost.ipc_setup_overhead)
+    return handle.buffer

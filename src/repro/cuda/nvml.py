@@ -1,0 +1,68 @@
+"""NVML-style topology discovery.
+
+The paper's library uses ``libnvidia-ml`` to "infer the connection and
+bandwidth between GPUs on a system" (§III-B) and feeds the result into the
+placement QAP.  This module is the simulated equivalent: it answers the
+same questions from the declarative node topology, through an API shaped
+like the NVML queries a real implementation would make.
+
+Placement code should depend only on this module (not on
+:class:`~repro.topology.NodeTopology` internals), preserving the layering
+of the original system: *discovery* produces matrices, *placement* consumes
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..topology.links import LinkType
+from ..topology.node import NodeTopology
+
+
+def device_count(node: NodeTopology) -> int:
+    """``nvmlDeviceGetCount``."""
+    return node.n_gpus
+
+
+def link_type(node: NodeTopology, i: int, j: int) -> LinkType:
+    """Dominant interconnect between GPUs ``i`` and ``j``.
+
+    Mirrors combining ``nvmlDeviceGetNvLinkRemotePciInfo`` /
+    ``nvmlDeviceGetTopologyCommonAncestor`` into a single classification.
+    """
+    return node.gpu_link_type(i, j)
+
+def peer_accessible(node: NodeTopology, i: int, j: int) -> bool:
+    """Whether ``cudaDeviceCanAccessPeer(i, j)`` would succeed."""
+    return node.peer_accessible(i, j)
+
+
+def bandwidth_matrix(node: NodeTopology) -> np.ndarray:
+    """Theoretical pairwise GPU bandwidth in B/s (diagonal = internal)."""
+    return node.gpu_bandwidth_matrix()
+
+
+def affinity(node: NodeTopology) -> List[int]:
+    """Socket affinity of each GPU (``nvmlDeviceGetCpuAffinity`` analogue)."""
+    return list(node.gpu_socket)
+
+
+def topology_report(node: NodeTopology) -> str:
+    """Human-readable matrix report, like ``nvidia-smi topo -m``."""
+    n = node.n_gpus
+    bw = bandwidth_matrix(node)
+    header = "      " + "".join(f"gpu{j:<5}" for j in range(n))
+    lines = [header]
+    for i in range(n):
+        cells = []
+        for j in range(n):
+            if i == j:
+                cells.append(f"{'X':<8}")
+            else:
+                t = link_type(node, i, j).value[:4].upper()
+                cells.append(f"{t}:{bw[i, j] / 1e9:<3.0f} ")
+        lines.append(f"gpu{i:<3}" + "".join(cells))
+    return "\n".join(lines)

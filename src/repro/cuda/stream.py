@@ -1,0 +1,82 @@
+"""CUDA streams and events with issue-order semantics.
+
+A :class:`Stream` is a FIFO of simulated operations: each op launched into
+the stream depends on the previous op in that stream (§II-A).  Ops on
+*different* streams are unordered unless joined via :class:`Event`, exactly
+the property the exchange methods exploit to overlap transfers ("each GPU
+pair uses its own stream").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import CudaError
+from ..sim import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .device import Device
+
+_stream_ids = itertools.count(1)
+_event_ids = itertools.count(1)
+
+
+class Stream:
+    """An ordered queue of device operations.
+
+    ``tail`` is the most recently enqueued op; the runtime wires each new op
+    to depend on it.  A fresh stream has no tail (ops start immediately once
+    their other dependencies allow).
+    """
+
+    __slots__ = ("device", "id", "tail")
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+        self.id = next(_stream_ids)
+        self.tail: Optional[Task] = None
+        device.streams.append(self)
+
+    def chain(self, task: Task) -> None:
+        """Record ``task`` as the stream's new tail.
+
+        The caller must already have added the previous tail as a dependency
+        of ``task`` (the runtime does this); ``chain`` only advances the
+        pointer.
+        """
+        self.tail = task
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stream(id={self.id}, gpu{self.device.global_index})"
+
+
+class Event:
+    """A CUDA event: a marker in a stream's op sequence.
+
+    ``record`` captures the stream's tail at record time; waiting on the
+    event means depending on that captured op.  Like ``cudaEventRecord`` /
+    ``cudaStreamWaitEvent``, this synchronizes *past work only* — ops
+    enqueued to the source stream after the record are not covered.
+    """
+
+    __slots__ = ("id", "task", "recorded")
+
+    def __init__(self) -> None:
+        self.id = next(_event_ids)
+        self.task: Optional[Task] = None
+        self.recorded = False
+
+    def _record(self, tail: Optional[Task]) -> None:
+        self.task = tail
+        self.recorded = True
+
+    @property
+    def complete(self) -> bool:
+        """``cudaEventQuery`` analogue (valid once recorded)."""
+        if not self.recorded:
+            raise CudaError("querying an unrecorded event")
+        return self.task is None or self.task.completed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event(id={self.id}, recorded={self.recorded})"

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause, while
+still being able to discriminate between configuration problems, simulated
+CUDA errors, and simulated MPI errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid user-supplied configuration (sizes, counts, flags)."""
+
+
+class PartitionError(ConfigurationError):
+    """The requested domain cannot be partitioned as asked.
+
+    Raised, for example, when a prime factor exceeds every remaining
+    dimension extent, so a split would create empty subdomains.
+    """
+
+
+class PlacementError(ReproError):
+    """Subdomain-to-GPU placement failed or was inconsistent."""
+
+
+class SimulationError(ReproError):
+    """An internal inconsistency in the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """The event loop ran dry while tasks were still pending.
+
+    This is the simulated analogue of a hung MPI job: some operation is
+    waiting on a dependency or message that can never arrive.
+    """
+
+
+class CudaError(ReproError):
+    """Simulated CUDA runtime error (bad stream/device/buffer use)."""
+
+
+class CudaMemoryError(CudaError):
+    """Simulated device out-of-memory."""
+
+
+class PeerAccessError(CudaError):
+    """Peer access was required between two devices that do not support it."""
+
+
+class IpcError(CudaError):
+    """Invalid use of the simulated ``cudaIpc*`` interface."""
+
+
+class MpiError(ReproError):
+    """Simulated MPI usage error (bad rank, tag, truncation, ...)."""
+
+
+class TruncationError(MpiError):
+    """A receive buffer was smaller than the matched incoming message."""
+
+
+class CapabilityError(ReproError):
+    """No enabled exchange method can service a required transfer."""

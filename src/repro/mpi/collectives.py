@@ -1,0 +1,137 @@
+"""Collective operations over the simulated MPI world.
+
+The paper's library only needs point-to-point plus ``MPI_Barrier``, but any
+real stencil application built on it also initializes with collectives
+(broadcasting configuration, gathering diagnostics, reducing residuals), so
+the substrate provides the standard trio:
+
+* :func:`bcast` — binomial tree broadcast,
+* :func:`allgather` — ring allgather,
+* :func:`allreduce` — binomial-tree reduce + broadcast.
+
+All are composed from the simulated ``Isend``/``Irecv``, so they inherit
+the transport's contention model, and the payloads really travel through
+the simulated messages (what a rank "knows" at each round is exactly what
+it has received).  These are setup/diagnostic utilities: each call runs the
+engine round-by-round to quiescence and returns the delivered per-rank
+values, spending virtual time outside any measured exchange window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from ..errors import MpiError
+from .world import MpiWorld
+
+#: tag space reserved for collective plumbing (above setup handshakes)
+_COLL_TAG_BASE = 1 << 26
+_coll_round = [0]
+
+
+def _fresh_tag_block() -> int:
+    """A fresh tag block so back-to-back collectives never cross-match."""
+    _coll_round[0] += 1
+    return _COLL_TAG_BASE + _coll_round[0] * 4096
+
+
+def bcast(world: MpiWorld, value: Any, root: int = 0) -> List[Any]:
+    """Broadcast a Python object from ``root``; returns per-rank values.
+
+    Binomial tree: ceil(log2(P)) rounds, the informed set doubling each
+    round — the standard small-message broadcast shape.
+    """
+    world._check_rank(root)
+    size = world.size
+    tag0 = _fresh_tag_block()
+    values: List[Any] = [None] * size
+    values[root] = value
+
+    def tree_to_world(t: int) -> int:
+        return (t + root) % size
+
+    dist = 1
+    rnd = 0
+    while dist < size:
+        reqs = []
+        for t in range(dist):
+            peer = t + dist
+            if peer >= size:
+                continue
+            src, dst = tree_to_world(t), tree_to_world(peer)
+            tag = tag0 + rnd * size + dst
+            world.ranks[src].isend(values[src], dst, tag)
+            reqs.append((dst, world.ranks[dst].irecv(None, src, tag)))
+        world.cluster.run()
+        for dst, req in reqs:
+            if not req.completed:
+                raise MpiError(f"bcast round {rnd} did not complete")
+            values[dst] = req.data
+        dist *= 2
+        rnd += 1
+    return values
+
+
+def allgather(world: MpiWorld, contributions: Sequence[Any]) -> List[List[Any]]:
+    """Each rank contributes one object; every rank gets the full list.
+
+    Ring algorithm: P−1 steps, each rank forwarding the item it received
+    last step to its right neighbor — bandwidth-optimal and the classic
+    large-payload shape.
+    """
+    size = world.size
+    if len(contributions) != size:
+        raise MpiError(
+            f"allgather needs one contribution per rank "
+            f"({len(contributions)} != {size})")
+    tag0 = _fresh_tag_block()
+    # have[r][i] is rank r's copy of rank i's item (None until received).
+    have: List[List[Any]] = [[None] * size for _ in range(size)]
+    for r in range(size):
+        have[r][r] = contributions[r]
+    for step in range(size - 1):
+        reqs = []
+        for r in range(size):
+            right = (r + 1) % size
+            owner = (r - step) % size       # newest item rank r holds
+            tag = tag0 + step * size + right
+            world.ranks[r].isend((owner, have[r][owner]), right, tag)
+            reqs.append((right, world.ranks[right].irecv(None, r, tag)))
+        world.cluster.run()
+        for right, req in reqs:
+            if not req.completed:
+                raise MpiError(f"allgather step {step} did not complete")
+            owner, item = req.data
+            have[right][owner] = item
+    for r in range(size):
+        if any(v is None for v in have[r]):
+            raise MpiError("allgather left gaps")
+    return have
+
+
+def allreduce(world: MpiWorld, contributions: Sequence[Any],
+              op: Callable[[Any, Any], Any]) -> List[Any]:
+    """Reduce per-rank values with associative ``op``; all ranks get the
+    result.  Binomial-tree reduce to rank 0, then :func:`bcast` down."""
+    size = world.size
+    if len(contributions) != size:
+        raise MpiError("allreduce needs one contribution per rank")
+    tag0 = _fresh_tag_block()
+    partial = list(contributions)
+    dist = 1
+    while dist < size:
+        reqs = []
+        for r in range(0, size, dist * 2):
+            peer = r + dist
+            if peer >= size:
+                continue
+            tag = tag0 + dist * size + r
+            world.ranks[peer].isend(partial[peer], r, tag)
+            reqs.append((r, peer, world.ranks[r].irecv(None, peer, tag)))
+        world.cluster.run()
+        for r, peer, req in reqs:
+            if not req.completed:
+                raise MpiError("allreduce step did not complete")
+            partial[r] = op(partial[r], req.data)
+        dist *= 2
+    return bcast(world, partial[0], root=0)

@@ -1,0 +1,65 @@
+"""Non-blocking request handles (``MPI_Request`` analogue).
+
+A request completes when its underlying transfer finishes in virtual time.
+Because the simulation is event-driven rather than threaded, "waiting" on a
+request means *depending* on it: ``request.signal`` can be added as a
+dependency of any subsequent simulated operation, and
+:meth:`repro.mpi.world.Rank.wait` makes a rank's CPU thread block on it the
+way ``MPI_Wait`` would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional
+
+from ..errors import MpiError
+from ..sim import Engine, Signal
+from .status import Status
+
+_req_ids = itertools.count(1)
+
+
+class Request:
+    """Handle for a pending ``Isend``/``Irecv``."""
+
+    __slots__ = ("id", "kind", "label", "signal", "completed", "status",
+                 "data", "_callbacks")
+
+    def __init__(self, kind: str, label: str) -> None:
+        self.id = next(_req_ids)
+        self.kind = kind  # "send" | "recv"
+        self.label = label
+        self.signal = Signal(f"req{self.id}:{label}")
+        self.completed = False
+        self.status: Optional[Status] = None
+        #: for object (pickled) receives, the delivered Python object
+        self.data: Any = None
+        self._callbacks: List[Callable[["Request"], None]] = []
+
+    def test(self) -> bool:
+        """``MPI_Test``: non-destructively query completion."""
+        return self.completed
+
+    def on_complete(self, fn: Callable[["Request"], None]) -> None:
+        """Run ``fn(request)`` when the request completes (or now if done)."""
+        if self.completed:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _complete(self, engine: Engine, status: Optional[Status] = None,
+                  data: Any = None) -> None:
+        if self.completed:
+            raise MpiError(f"request completed twice: {self.label}")
+        self.completed = True
+        self.status = status
+        if data is not None:
+            self.data = data
+        self.signal.fire(engine)
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Request({self.kind}, {self.label!r}, done={self.completed})"

@@ -1,0 +1,14 @@
+"""Message status metadata (``MPI_Status`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """Source/tag/size of a completed receive."""
+
+    source: int
+    tag: int
+    count_bytes: int

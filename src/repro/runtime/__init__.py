@@ -1,0 +1,13 @@
+"""Live simulated hardware.
+
+:class:`SimCluster` instantiates a declarative :class:`repro.topology.Machine`
+into contended simulation resources (links, NIC rails, GPU engines) plus the
+event engine, tracer, and cost model.  The simulated CUDA runtime
+(:mod:`repro.cuda`) and simulated MPI (:mod:`repro.mpi`) operate on top of a
+``SimCluster``.
+"""
+
+from .costmodel import CostModel
+from .cluster import SimCluster, SimNode
+
+__all__ = ["CostModel", "SimCluster", "SimNode"]

@@ -1,0 +1,153 @@
+"""Instantiation of a declarative Machine into live simulated hardware.
+
+A :class:`SimCluster` owns
+
+* the discrete-event :class:`~repro.sim.Engine` and :class:`~repro.sim.Tracer`,
+* the :class:`~repro.runtime.CostModel`,
+* one :class:`SimNode` per machine node, each holding direction-specific
+  link resources, NIC rail resources, and :class:`repro.cuda.Device` objects.
+
+``data_mode`` selects whether device buffers are NumPy-backed (bit-accurate
+halo exchange, used in tests/examples) or symbolic (sizes only, used for
+1536-GPU performance sweeps).  The exchange code path is identical in both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, DeadlockError
+from ..sim import Engine, Resource, Tracer
+from ..topology.machine import Machine
+from .costmodel import CostModel
+
+
+class SimNode:
+    """Live state for one node: link/NIC resources and devices."""
+
+    def __init__(self, cluster: "SimCluster", index: int) -> None:
+        self.cluster = cluster
+        self.index = index
+        self.topology = cluster.machine.node
+        eng = cluster.engine
+        # One resource per link per direction (links are full duplex).
+        self._link_res: Dict[Tuple[str, str], Resource] = {}
+        for link in self.topology.links:
+            for src, dst in ((link.a, link.b), (link.b, link.a)):
+                self._link_res[(src, dst)] = Resource(
+                    eng, f"n{index}/{link.name}/{src}>{dst}",
+                    capacity=1, bandwidth=link.bandwidth)
+        # NIC rails: ``nic_ports`` independent slots each direction.
+        net = cluster.machine.network
+        if self.topology.n_nics > 0:
+            self.nic_out = Resource(eng, f"n{index}/nic/out",
+                                    capacity=net.nic_ports,
+                                    bandwidth=net.nic_port_bandwidth)
+            self.nic_in = Resource(eng, f"n{index}/nic/in",
+                                   capacity=net.nic_ports,
+                                   bandwidth=net.nic_port_bandwidth)
+        else:
+            self.nic_out = self.nic_in = None
+        # Devices are created by the cluster after nodes exist (the Device
+        # class lives in repro.cuda, which imports this module's types).
+        self.devices: List["Device"] = []  # noqa: F821 - set by SimCluster
+
+    # -- path resources --------------------------------------------------------
+    def link_resource(self, src: str, dst: str) -> Resource:
+        """The directional resource for traversing a link src→dst."""
+        try:
+            return self._link_res[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no link between {src} and {dst} on node {self.index}") from None
+
+    def path_resources(self, a: str, b: str) -> List[Resource]:
+        """Directional resources along the routed path a→b (may be empty)."""
+        out: List[Resource] = []
+        cur = a
+        for link in self.topology.path(a, b):
+            nxt = link.other(cur)
+            out.append(self.link_resource(cur, nxt))
+            cur = nxt
+        return out
+
+    def path_bandwidth(self, a: str, b: str) -> float:
+        """Min link bandwidth along the routed path a→b."""
+        return self.topology.bandwidth(a, b)
+
+    def path_latency(self, a: str, b: str) -> float:
+        return self.topology.latency(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimNode({self.index}, {self.topology.name})"
+
+
+class SimCluster:
+    """The live simulated machine.
+
+    Use :meth:`create` rather than the constructor::
+
+        cluster = SimCluster.create(summit_machine(4))
+        dev = cluster.device(7)       # global GPU id
+        cluster.engine.run()          # advance virtual time
+    """
+
+    def __init__(self, machine: Machine, cost: CostModel,
+                 data_mode: bool, tracer: Optional[Tracer]) -> None:
+        cost.validate()
+        self.machine = machine
+        self.cost = cost
+        self.data_mode = data_mode
+        self.engine = Engine()
+        self.tracer = tracer
+        self.nodes: List[SimNode] = [SimNode(self, i)
+                                     for i in range(machine.n_nodes)]
+
+    @classmethod
+    def create(cls, machine: Machine, cost: Optional[CostModel] = None,
+               data_mode: bool = True, trace: bool = False) -> "SimCluster":
+        """Build a cluster; ``trace=True`` records a full timeline."""
+        from ..cuda.device import Device  # deferred: cuda imports runtime types
+        cluster = cls(machine, cost or CostModel(), data_mode,
+                      Tracer() if trace else None)
+        for node in cluster.nodes:
+            node.devices = [Device(cluster, node, local)
+                            for local in range(machine.node.n_gpus)]
+        return cluster
+
+    # -- lookup -----------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        return self.machine.n_gpus
+
+    def device(self, global_gpu: int) -> "Device":  # noqa: F821
+        """The Device for a global GPU id."""
+        node = self.machine.gpu_node(global_gpu)
+        local = self.machine.gpu_local_index(global_gpu)
+        return self.nodes[node].devices[local]
+
+    def all_devices(self) -> List["Device"]:  # noqa: F821
+        return [d for n in self.nodes for d in n.devices]
+
+    # -- time -------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue; returns the final virtual time."""
+        return self.engine.run(until)
+
+    def run_and_check(self, pending_tasks) -> float:
+        """Run to quiescence and verify that ``pending_tasks`` all completed.
+
+        Raises :class:`~repro.errors.DeadlockError` naming stuck tasks —
+        the simulated analogue of a hung exchange.
+        """
+        t = self.engine.run()
+        stuck = [x for x in pending_tasks if not x.completed]
+        if stuck:
+            names = ", ".join(s.name for s in stuck[:8])
+            raise DeadlockError(
+                f"{len(stuck)} task(s) never completed, e.g.: {names}")
+        return t

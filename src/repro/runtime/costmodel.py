@@ -1,0 +1,92 @@
+"""Tunable constants of the performance model.
+
+All virtual-time durations in the simulation derive from link properties in
+the topology plus the constants here.  Defaults are chosen to be plausible
+for the paper's platform (Summit, Spectrum MPI, CUDA 10.1) and — more
+importantly — to reproduce the paper's *relative* results; see
+EXPERIMENTS.md for the measured shapes.
+
+Rationale for the non-obvious entries:
+
+* ``shm_bandwidth`` — Spectrum MPI moves intra-node host messages with a
+  per-pair shared-memory copy; a single progress thread sustains far less
+  than STREAM bandwidth.  This is the 1-rank STAGED bottleneck of Fig. 12a
+  ("more processes are recruited to participate in simultaneous memcopies").
+* ``cuda_aware_sync_overhead`` / default-stream serialization — the paper's
+  profiling (§IV-D) found the MPI library using the default stream and
+  calling ``cudaDeviceSynchronize`` per operation; we charge each CUDA-aware
+  message this fixed cost and make it hold the device's default-stream
+  resource, which is what degrades Fig. 12c at scale.
+* ``cuda_aware_internode_efficiency`` — pipelined GPU→NIC staging inside the
+  MPI library achieves a fraction of the rail bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Constants for the virtual-time cost of simulated operations."""
+
+    # --- CPU issue costs (per API call, on the owning rank's CPU thread) ---
+    cpu_issue_overhead: float = 1.5e-6     #: async CUDA call issue cost (s)
+    kernel_launch_overhead: float = 4.0e-6  #: extra device-side launch latency
+    mpi_call_overhead: float = 1.2e-6       #: Isend/Irecv/Test posting cost
+    barrier_overhead: float = 3.0e-6        #: MPI_Barrier fan-in/fan-out cost
+
+    # --- intra-node MPI (host-host shared memory path) ---
+    shm_bandwidth: float = 9e9              #: per-message shm copy rate (B/s)
+    shm_latency: float = 1.0e-6             #: per-message latency (s)
+    #: same-rank MPI self-send: the same single-threaded copy as the shm
+    #: path (one progress thread does all the work either way)
+    self_copy_bandwidth: float = 10e9
+
+    # --- staging copies (DeviceBuffer <-> pinned host) ---
+    #: fraction of the GPU-CPU link bandwidth achieved by cudaMemcpyAsync
+    staging_efficiency: float = 0.92
+
+    # --- peer / colocated copies ---
+    #: fraction of the min path-link bandwidth achieved by cudaMemcpyPeerAsync
+    peer_efficiency: float = 0.95
+    #: one-time per-pair setup cost of the cudaIpc* handshake (setup phase)
+    ipc_setup_overhead: float = 120e-6
+    #: per-exchange cross-process synchronization cost (shared IPC events)
+    ipc_event_sync_overhead: float = 4.0e-6
+
+    # --- CUDA-aware MPI pathologies (§IV-D) ---
+    cuda_aware_sync_overhead: float = 30e-6  #: per-message device sync cost
+    cuda_aware_intranode_efficiency: float = 0.80
+    cuda_aware_internode_efficiency: float = 0.70
+
+    # --- inter-node MPI ---
+    mpi_message_overhead: float = 1.0e-6     #: per-message progress cost
+    rendezvous_threshold: int = 64 * 1024    #: bytes; above this the wire
+    #: transfer starts only after the matching receive is posted (rendezvous);
+    #: smaller messages are sent eagerly into a receive-side buffer.
+    rendezvous_rtt: float = 2.0e-6           #: handshake cost for rendezvous
+
+    # --- GPU kernels ---
+    #: pack/unpack move payload at this fraction of GPU internal bandwidth
+    pack_efficiency: float = 1.0
+    #: fraction of the peer link bandwidth achieved by kernels that
+    #: load/store remote memory directly (§VI DIRECT_ACCESS) — remote
+    #: loads pipeline worse than DMA copy engines
+    direct_access_efficiency: float = 0.65
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for non-physical settings."""
+        for name in self.__dataclass_fields__:
+            v = getattr(self, name)
+            if isinstance(v, float) and v < 0:
+                raise ValueError(f"CostModel.{name} must be >= 0, got {v}")
+        for name in ("staging_efficiency", "peer_efficiency",
+                     "cuda_aware_intranode_efficiency",
+                     "cuda_aware_internode_efficiency", "pack_efficiency",
+                     "direct_access_efficiency"):
+            v = getattr(self, name)
+            if not 0 < v <= 1:
+                raise ValueError(f"CostModel.{name} must be in (0, 1], got {v}")
+        if self.shm_bandwidth <= 0 or self.self_copy_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")

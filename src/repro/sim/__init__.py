@@ -1,0 +1,33 @@
+"""Discrete-event simulation kernel.
+
+This package provides the virtual clock, resource-contention model, and
+dependency-graph task executor on which the simulated CUDA runtime
+(:mod:`repro.cuda`) and simulated MPI (:mod:`repro.mpi`) are built.
+
+The model is deliberately simple and deterministic:
+
+* Time is a ``float`` number of seconds, starting at 0.
+* An operation (:class:`~repro.sim.tasks.Task`) becomes *eligible* when all
+  of its dependencies have completed, then atomically acquires a set of
+  :class:`~repro.sim.resources.Resource` slots, holds them for its duration,
+  and releases them.
+* Resources grant slots in arrival order (FIFO), scanning past blocked
+  requests so that independent work is never held up (work-conserving).
+* There is no randomness anywhere: a given task graph always produces the
+  same virtual timeline.
+"""
+
+from .engine import Engine
+from .resources import Resource, AcquireRequest
+from .tasks import Task, Signal
+from .trace import Tracer, Span
+
+__all__ = [
+    "Engine",
+    "Resource",
+    "AcquireRequest",
+    "Task",
+    "Signal",
+    "Tracer",
+    "Span",
+]

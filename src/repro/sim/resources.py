@@ -1,0 +1,201 @@
+"""Contended resources with atomic multi-resource acquisition.
+
+A :class:`Resource` models anything an operation can occupy exclusively for
+a span of virtual time: a link (an NVLink brick, the X-Bus, a NIC port), a
+GPU copy engine, a GPU kernel engine, a CPU issue thread, or an MPI progress
+engine.  Resources have an integer ``capacity``: a copy engine with capacity
+1 serializes copies; a kernel engine with capacity 4 lets four pack kernels
+overlap.
+
+Operations frequently need several resources *simultaneously* — a
+cross-socket peer copy holds the source GPU's NVLink to its CPU, the X-Bus,
+and the destination GPU's NVLink.  :class:`AcquireRequest` acquires a whole
+set atomically (all-or-nothing), which rules out partial-hold deadlock by
+construction: nothing is ever held while waiting.
+
+Grant policy
+------------
+Requests are granted in global arrival order, but a blocked request does not
+stall later requests whose resources are free (a "work-conserving FIFO").
+This mirrors how independent DMA engines and links proceed in parallel on
+real hardware while transfers sharing a link queue up, and it is fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SimulationError
+from .engine import Engine
+
+_resource_ids = itertools.count()
+
+
+class Resource:
+    """A named, capacity-limited resource.
+
+    Parameters
+    ----------
+    engine:
+        The owning event engine.
+    name:
+        Human-readable name, used in traces (e.g. ``"node0/gpu2/nvlink"``).
+    capacity:
+        Number of slots that may be held concurrently.
+    bandwidth:
+        Optional data rate in bytes/second.  Purely advisory — duration
+        computation lives with the operation — but recorded here so link-type
+        resources can expose their speed to cost models.
+    """
+
+    __slots__ = ("engine", "name", "capacity", "bandwidth", "_in_use",
+                 "_waiters", "_id", "busy_time", "_last_busy_start")
+
+    def __init__(self, engine: Engine, name: str, capacity: int = 1,
+                 bandwidth: Optional[float] = None) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.bandwidth = bandwidth
+        self._in_use = 0
+        self._waiters: List["AcquireRequest"] = []
+        self._id = next(_resource_ids)
+        # Utilization accounting (any slot held counts as busy).
+        self.busy_time = 0.0
+        self._last_busy_start: Optional[float] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self._in_use
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time at least one slot was held."""
+        total = self.busy_time
+        if self._last_busy_start is not None:
+            total += self.engine.now - self._last_busy_start
+        if elapsed is None:
+            elapsed = self.engine.now
+        return total / elapsed if elapsed > 0 else 0.0
+
+    # -- internal occupancy bookkeeping -------------------------------------
+    def _occupy(self) -> None:
+        if self._in_use >= self.capacity:
+            raise SimulationError(f"over-acquired resource {self.name}")
+        if self._in_use == 0:
+            self._last_busy_start = self.engine.now
+        self._in_use += 1
+
+    def _vacate(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"over-released resource {self.name}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._last_busy_start is not None:
+            self.busy_time += self.engine.now - self._last_busy_start
+            self._last_busy_start = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Resource({self.name!r}, {self._in_use}/{self.capacity})"
+
+
+_request_seq = itertools.count()
+
+
+class AcquireRequest:
+    """A pending atomic acquisition of a set of resources.
+
+    Created via :func:`acquire`.  When every requested resource has a free
+    slot the request is *granted*: slots are taken and ``on_grant`` is
+    scheduled at the current instant.  The holder must later call
+    :meth:`release` exactly once.
+    """
+
+    __slots__ = ("resources", "on_grant", "seq", "granted", "released", "label")
+
+    def __init__(self, resources: Sequence[Resource],
+                 on_grant: Callable[[], None], label: str = "") -> None:
+        self.resources = tuple(resources)
+        self.on_grant = on_grant
+        self.seq = next(_request_seq)
+        self.granted = False
+        self.released = False
+        self.label = label
+
+    def _grantable(self) -> bool:
+        return all(r.free_slots > 0 for r in self.resources)
+
+    def _grant(self, engine: Engine) -> None:
+        self.granted = True
+        for r in self.resources:
+            r._occupy()
+        # Defer the callback through the event queue so grants triggered by a
+        # release all observe consistent resource state.
+        engine.schedule(0.0, self.on_grant)
+
+    def release(self) -> None:
+        """Release all held slots and wake eligible waiters."""
+        if not self.granted:
+            raise SimulationError(f"release before grant: {self.label}")
+        if self.released:
+            raise SimulationError(f"double release: {self.label}")
+        self.released = True
+        engine = self.resources[0].engine if self.resources else None
+        for r in self.resources:
+            r._vacate()
+        if engine is not None:
+            _wake_waiters(engine, self.resources)
+
+
+def acquire(engine: Engine, resources: Sequence[Resource],
+            on_grant: Callable[[], None], label: str = "") -> AcquireRequest:
+    """Atomically acquire ``resources``; run ``on_grant`` when granted.
+
+    Duplicate resources in the set are collapsed (an op never needs two
+    slots of the same resource here).  Requests with an empty resource set
+    are granted immediately.
+    """
+    # Deduplicate while preserving a deterministic order.
+    seen: Dict[int, Resource] = {}
+    for r in resources:
+        seen.setdefault(r._id, r)
+    req = AcquireRequest(tuple(seen.values()), on_grant, label)
+    if req._grantable():
+        req._grant(engine)
+    else:
+        for r in req.resources:
+            r._waiters.append(req)
+    return req
+
+
+def _wake_waiters(engine: Engine, released: Iterable[Resource]) -> None:
+    """After a release, grant every now-satisfiable waiter in arrival order.
+
+    Scans only the waiter lists of the released resources; each candidate's
+    full resource set is re-checked so multi-resource atomicity holds.
+    """
+    candidates: Dict[int, AcquireRequest] = {}
+    for r in released:
+        for w in r._waiters:
+            if not w.granted:
+                candidates[w.seq] = w
+    for seq in sorted(candidates):
+        w = candidates[seq]
+        if not w.granted and w._grantable():
+            w._grant(engine)
+            for r in w.resources:
+                try:
+                    r._waiters.remove(w)
+                except ValueError:
+                    pass
+    # Periodically compact waiter lists of released resources.
+    for r in released:
+        if len(r._waiters) > 32:
+            r._waiters = [w for w in r._waiters if not w.granted]

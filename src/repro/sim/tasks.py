@@ -1,0 +1,193 @@
+"""Dependency-graph tasks executed over the event engine.
+
+A :class:`Task` is one primitive operation in an exchange: a kernel launch,
+an async memcpy, an MPI wire transfer, a CPU issue slice.  Tasks declare
+
+* ``deps`` — tasks/signals that must complete first (stream ordering, state
+  machine phases, message matching),
+* ``resources`` — the sim resources held while running (contention),
+* ``duration`` — seconds of virtual time held, and
+* ``action`` — an optional side effect (real data movement) applied at
+  completion time, so observable memory state respects the virtual ordering.
+
+:class:`Signal` is a manually-fired dependency used for conditions that are
+not themselves operations (e.g. "a matching MPI receive has been posted").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..errors import SimulationError
+from .engine import Engine
+from .resources import Resource, acquire
+from .trace import Tracer
+
+_task_ids = itertools.count()
+
+Dep = Union["Task", "Signal"]
+
+
+class Signal:
+    """A manually-completed dependency (a one-shot future).
+
+    Tasks may depend on signals exactly as on other tasks.  ``fire()``
+    completes the signal at the current virtual time.
+    """
+
+    __slots__ = ("name", "completed", "completion_time", "_dependents")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self._dependents: List["Task"] = []
+
+    def fire(self, engine: Engine) -> None:
+        if self.completed:
+            raise SimulationError(f"signal fired twice: {self.name}")
+        self.completed = True
+        self.completion_time = engine.now
+        dependents, self._dependents = self._dependents, []
+        for t in dependents:
+            t._dep_completed(engine)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Signal({self.name!r}, completed={self.completed})"
+
+
+class Task:
+    """One primitive simulated operation.
+
+    Parameters
+    ----------
+    engine:
+        Event engine providing the clock.
+    name:
+        Label for traces and error messages.
+    duration:
+        Seconds the operation holds its resources.
+    resources:
+        Resources held for the duration (may be empty).
+    deps:
+        Tasks or signals that must complete before this becomes eligible.
+    action:
+        Optional ``callable()`` run at *completion* time — used for the real
+        data movement in data mode.
+    lane / kind:
+        Trace metadata: ``lane`` groups spans into a timeline row (e.g.
+        ``"gpu0"``), ``kind`` categorizes (``"pack"``, ``"d2h"``, ...).
+    tracer:
+        Optional :class:`Tracer` recording a span for this task.
+    bytes:
+        Payload size, recorded in the trace (0 for non-transfer ops).
+
+    Lifecycle: constructed → ``submit()`` → waits on deps → acquires
+    resources → runs → completes (action, callbacks, dependents notified).
+    """
+
+    __slots__ = ("engine", "name", "duration", "resources", "action",
+                 "lane", "kind", "bytes", "tracer", "_id", "_remaining_deps",
+                 "_dependents", "_callbacks", "submitted", "started",
+                 "completed", "start_time", "completion_time", "_request")
+
+    def __init__(self, engine: Engine, name: str, duration: float,
+                 resources: Sequence[Resource] = (),
+                 deps: Sequence[Dep] = (),
+                 action: Optional[Callable[[], None]] = None,
+                 lane: str = "", kind: str = "",
+                 tracer: Optional[Tracer] = None,
+                 bytes: int = 0) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative duration for task {name}")
+        self.engine = engine
+        self.name = name
+        self.duration = duration
+        self.resources = tuple(resources)
+        self.action = action
+        self.lane = lane
+        self.kind = kind
+        self.bytes = bytes
+        self.tracer = tracer
+        self._id = next(_task_ids)
+        self._dependents: List[Task] = []
+        self._callbacks: List[Callable[["Task"], None]] = []
+        self.submitted = False
+        self.started = False
+        self.completed = False
+        self.start_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+        self._request = None
+        self._remaining_deps = 0
+        for d in deps:
+            self.add_dep(d)
+
+    # -- graph construction ---------------------------------------------------
+    def add_dep(self, dep: Dep) -> None:
+        """Add a dependency.  Must be called before :meth:`submit`."""
+        if self.submitted:
+            raise SimulationError(f"add_dep after submit: {self.name}")
+        if dep is None:
+            return
+        if dep.completed:
+            return
+        dep._dependents.append(self)
+        self._remaining_deps += 1
+
+    def on_complete(self, fn: Callable[["Task"], None]) -> None:
+        """Register a completion callback (fires after ``action``)."""
+        if self.completed:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    # -- execution ---------------------------------------------------------------
+    def submit(self) -> "Task":
+        """Make the task live: it runs once its dependencies complete."""
+        if self.submitted:
+            raise SimulationError(f"task submitted twice: {self.name}")
+        self.submitted = True
+        if self._remaining_deps == 0:
+            self._acquire()
+        return self
+
+    def _dep_completed(self, engine: Engine) -> None:
+        self._remaining_deps -= 1
+        if self._remaining_deps < 0:
+            raise SimulationError(f"dependency underflow in {self.name}")
+        if self.submitted and self._remaining_deps == 0:
+            self._acquire()
+
+    def _acquire(self) -> None:
+        self._request = acquire(self.engine, self.resources, self._start,
+                                label=self.name)
+
+    def _start(self) -> None:
+        self.started = True
+        self.start_time = self.engine.now
+        self.engine.schedule(self.duration, self._finish)
+
+    def _finish(self) -> None:
+        assert self._request is not None
+        self._request.release()
+        self.completed = True
+        self.completion_time = self.engine.now
+        if self.action is not None:
+            self.action()
+        if self.tracer is not None and self.lane:
+            self.tracer.record(self.lane, self.kind or "op", self.name,
+                               self.start_time or 0.0, self.completion_time,
+                               self.bytes)
+        for cb in self._callbacks:
+            cb(self)
+        self._callbacks = []
+        dependents, self._dependents = self._dependents, []
+        for t in dependents:
+            t._dep_completed(self.engine)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = ("done" if self.completed else
+                 "running" if self.started else
+                 "waiting" if self.submitted else "new")
+        return f"Task({self.name!r}, {state})"

@@ -1,0 +1,139 @@
+"""Timeline recording and rendering.
+
+The paper's Fig. 9 shows a timeline of overlapped exchange operations
+(pack kernels, peer copies, D2H/H2D staging, MPI sends) across GPUs and the
+owning rank's CPU.  :class:`Tracer` records one :class:`Span` per completed
+task; :func:`render_gantt` renders an ASCII Gantt chart of the same form,
+and :meth:`Tracer.to_rows` produces machine-readable rows for CSV output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One operation on the timeline."""
+
+    lane: str       #: timeline row, e.g. "node0/rank0/cpu" or "node0/gpu3"
+    kind: str       #: operation category: pack, unpack, d2h, h2d, peer, mpi, ...
+    label: str      #: full task name
+    start: float    #: virtual start time (s)
+    end: float      #: virtual end time (s)
+    bytes: int = 0  #: payload size for transfers, 0 otherwise
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans during a simulation run."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.enabled = True
+
+    def record(self, lane: str, kind: str, label: str,
+               start: float, end: float, nbytes: int = 0) -> None:
+        if self.enabled:
+            self.spans.append(Span(lane, kind, label, start, end, nbytes))
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    # -- queries -----------------------------------------------------------
+    def lanes(self) -> List[str]:
+        """Distinct lanes in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.lane, None)
+        return list(seen)
+
+    def spans_in_lane(self, lane: str) -> List[Span]:
+        return [s for s in self.spans if s.lane == lane]
+
+    def by_kind(self) -> Dict[str, List[Span]]:
+        out: Dict[str, List[Span]] = {}
+        for s in self.spans:
+            out.setdefault(s.kind, []).append(s)
+        return out
+
+    def total_time_by_kind(self) -> Dict[str, float]:
+        """Summed span durations per kind (overlap not deduplicated)."""
+        out: Dict[str, float] = {}
+        for s in self.spans:
+            out[s.kind] = out.get(s.kind, 0.0) + s.duration
+        return out
+
+    def makespan(self) -> float:
+        """End of the last span minus start of the first."""
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    def overlap_fraction(self) -> float:
+        """How much concurrency the timeline achieved.
+
+        Defined as (sum of span durations) / makespan; 1.0 means perfectly
+        serialized, larger means overlapped.
+        """
+        ms = self.makespan()
+        if ms <= 0:
+            return 0.0
+        return sum(s.duration for s in self.spans) / ms
+
+    def to_rows(self) -> List[Tuple[str, str, str, float, float, int]]:
+        """Rows of ``(lane, kind, label, start, end, bytes)`` sorted by start."""
+        return [(s.lane, s.kind, s.label, s.start, s.end, s.bytes)
+                for s in sorted(self.spans, key=lambda s: (s.start, s.lane))]
+
+
+_GANTT_CHARS = {
+    "pack": "P", "unpack": "U", "d2h": "v", "h2d": "^", "peer": "=",
+    "colo": "=", "kernel": "K", "mpi": "M", "issue": ".", "sync": "s",
+    "compute": "C",
+}
+
+
+def render_gantt(tracer: Tracer, width: int = 100,
+                 lanes: Optional[Sequence[str]] = None,
+                 time_range: Optional[Tuple[float, float]] = None) -> str:
+    """Render an ASCII Gantt chart of the recorded spans (cf. Fig. 9).
+
+    Each lane becomes one text row; each span is drawn with a character
+    keyed by its kind (``P`` pack, ``U`` unpack, ``v`` D2H, ``^`` H2D,
+    ``=`` peer/colocated copy, ``M`` MPI, ``.`` CPU issue).  Overlapping
+    spans within a lane overwrite left-to-right in start order.
+    """
+    spans = tracer.spans
+    if not spans:
+        return "(empty timeline)"
+    if time_range is None:
+        t0 = min(s.start for s in spans)
+        t1 = max(s.end for s in spans)
+    else:
+        t0, t1 = time_range
+    if t1 <= t0:
+        t1 = t0 + 1e-9
+    if lanes is None:
+        lanes = tracer.lanes()
+    label_w = max(len(l) for l in lanes) + 1
+    scale = width / (t1 - t0)
+    lines = []
+    for lane in lanes:
+        row = [" "] * width
+        for s in sorted(tracer.spans_in_lane(lane), key=lambda s: s.start):
+            a = max(0, min(width - 1, int((s.start - t0) * scale)))
+            b = max(a + 1, min(width, int((s.end - t0) * scale + 0.5)))
+            ch = _GANTT_CHARS.get(s.kind, "#")
+            for i in range(a, b):
+                row[i] = ch
+        lines.append(f"{lane:<{label_w}}|{''.join(row)}|")
+    header = (f"{'':<{label_w}} t0={t0 * 1e6:.1f}us "
+              f"t1={t1 * 1e6:.1f}us span={(t1 - t0) * 1e6:.1f}us")
+    legend = ("legend: P=pack U=unpack v=D2H ^=H2D ==peer/colo copy "
+              "M=MPI .=cpu-issue K=kernel s=sync C=compute")
+    return "\n".join([header] + lines + [legend])

@@ -1,0 +1,32 @@
+"""Stencil operators and distributed solvers.
+
+These are the *applications* the communication library serves: vectorized
+finite-difference operators (:mod:`repro.stencils.operators`), a
+single-array periodic reference implementation used as ground truth in
+tests (:mod:`repro.stencils.reference`), and distributed solvers that
+alternate halo exchange with local compute — 3D Jacobi heat diffusion
+(:mod:`repro.stencils.jacobi`) and the second-order wave equation
+(:mod:`repro.stencils.wave`), with optional compute/communication overlap.
+"""
+
+from .operators import StencilWeights, apply_stencil, star_laplacian_weights
+from .reference import reference_apply, reference_jacobi_heat, reference_wave
+from .jacobi import JacobiHeat
+from .wave import WaveSolver
+from .advection import AdvectionSolver, reference_advection, upwind_radius
+from .deep_halo import DeepHaloJacobi
+
+__all__ = [
+    "DeepHaloJacobi",
+    "StencilWeights",
+    "apply_stencil",
+    "star_laplacian_weights",
+    "reference_apply",
+    "reference_jacobi_heat",
+    "reference_wave",
+    "JacobiHeat",
+    "WaveSolver",
+    "AdvectionSolver",
+    "reference_advection",
+    "upwind_radius",
+]

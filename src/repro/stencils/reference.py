@@ -1,0 +1,94 @@
+"""Single-array periodic reference implementations (ground truth).
+
+These operate on one global ``(z, y, x)`` array with ``np.roll`` periodic
+wrap — no decomposition, no halos, no simulation.  Distributed results must
+match them bit-for-bit (same dtype, same operation order per tap), which is
+the strongest correctness check available for the exchange machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .operators import StencilWeights, star_laplacian_weights
+
+
+def reference_apply(grid: np.ndarray, weights: StencilWeights) -> np.ndarray:
+    """Apply a stencil to a global periodic grid.
+
+    Taps are accumulated in the same (dict) order as
+    :func:`~repro.stencils.operators.apply_stencil` so floating-point
+    results agree exactly with the distributed path.
+    """
+    out = np.zeros_like(grid)
+    for (dx, dy, dz), w in weights.taps.items():
+        # A point's tap at +dx reads the neighbor at +dx; rolling by -d
+        # brings that neighbor's value to the point's position.
+        out += w * np.roll(grid, shift=(-dz, -dy, -dx), axis=(0, 1, 2))
+    return out
+
+
+def reference_apply_fixed(grid: np.ndarray, weights: StencilWeights,
+                          ghost: float = 0.0) -> np.ndarray:
+    """Apply a stencil with Dirichlet ghost cells instead of wrap.
+
+    The grid is padded with ``ghost`` by exactly the stencil's per-axis
+    radii; taps are accumulated in the same order as the periodic variant
+    so distributed results can match bit-for-bit.
+    """
+    r = weights.radius
+    padded = np.pad(grid,
+                    ((r.zm, r.zp), (r.ym, r.yp), (r.xm, r.xp)),
+                    mode="constant",
+                    constant_values=np.asarray(ghost, dtype=grid.dtype))
+    out = np.zeros_like(grid)
+    nz, ny, nx = grid.shape
+    for (dx, dy, dz), w in weights.taps.items():
+        out += w * padded[r.zm + dz:r.zm + dz + nz,
+                          r.ym + dy:r.ym + dy + ny,
+                          r.xm + dx:r.xm + dx + nx]
+    return out
+
+
+def reference_jacobi_heat_fixed(grid: np.ndarray, alpha: float, steps: int,
+                                radius: int = 1,
+                                ghost: float = 0.0) -> np.ndarray:
+    """Dirichlet-boundary Jacobi heat: ``u ← u + alpha·lap(u)`` with
+    constant ghost cells outside the domain."""
+    w = star_laplacian_weights(radius)
+    u = grid.astype(grid.dtype, copy=True)
+    for _ in range(steps):
+        u = u + np.asarray(alpha, dtype=grid.dtype) \
+            * reference_apply_fixed(u, w, ghost)
+    return u
+
+
+def reference_jacobi_heat(grid: np.ndarray, alpha: float, steps: int,
+                          radius: int = 1) -> np.ndarray:
+    """``u ← u + alpha·lap(u)`` for ``steps`` iterations, periodic."""
+    w = star_laplacian_weights(radius)
+    u = grid.astype(grid.dtype, copy=True)
+    for _ in range(steps):
+        u = u + np.asarray(alpha, dtype=grid.dtype) * reference_apply(u, w)
+    return u
+
+
+def reference_wave(u: np.ndarray, u_prev: np.ndarray, c2dt2: float,
+                   steps: int, radius: int = 1
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Second-order wave equation leapfrog, periodic.
+
+    ``u_next = 2u − u_prev + c²dt²·lap(u)``; returns ``(u, u_prev)`` after
+    ``steps`` updates.
+    """
+    w = star_laplacian_weights(radius)
+    u = u.copy()
+    u_prev = u_prev.copy()
+    coef = np.asarray(c2dt2, dtype=u.dtype)
+    two = np.asarray(2.0, dtype=u.dtype)
+    for _ in range(steps):
+        u_next = two * u - u_prev + coef * reference_apply(u, w)
+        u_prev, u = u, u_next
+    return u, u_prev

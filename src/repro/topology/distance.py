@@ -1,0 +1,48 @@
+"""Bandwidth → QAP-distance conversion (§III-B).
+
+The placement phase models GPUs as QAP *locations*.  The distance between
+two locations is the element-wise reciprocal of the theoretical bandwidth
+between the two GPUs, so that placing a high-flow subdomain pair on a
+high-bandwidth GPU pair minimizes the flow·distance objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .node import NodeTopology
+
+
+def bandwidth_matrix(node: NodeTopology) -> np.ndarray:
+    """Theoretical pairwise GPU bandwidth (B/s); alias of the node method."""
+    return node.gpu_bandwidth_matrix()
+
+
+def distance_matrix_from_bandwidth(bw: np.ndarray,
+                                   zero_diagonal: bool = True) -> np.ndarray:
+    """Element-wise reciprocal of a bandwidth matrix.
+
+    Parameters
+    ----------
+    bw:
+        Square matrix of bandwidths in B/s; all entries must be positive.
+    zero_diagonal:
+        If True (default) the diagonal distance is forced to zero: a
+        subdomain exchanging with itself costs nothing in the QAP objective,
+        matching the paper's formulation where self-flow is excluded.
+    """
+    bw = np.asarray(bw, dtype=float)
+    if bw.ndim != 2 or bw.shape[0] != bw.shape[1]:
+        raise ConfigurationError(f"bandwidth matrix must be square, got {bw.shape}")
+    if np.any(bw <= 0):
+        raise ConfigurationError("bandwidth matrix entries must be positive")
+    d = 1.0 / bw
+    if zero_diagonal:
+        np.fill_diagonal(d, 0.0)
+    return d
+
+
+def gpu_distance_matrix(node: NodeTopology) -> np.ndarray:
+    """Distance matrix for a node's GPUs: ``1 / theoretical_bandwidth``."""
+    return distance_matrix_from_bandwidth(bandwidth_matrix(node))

@@ -1,0 +1,67 @@
+"""Link descriptions for intra-node interconnects.
+
+Bandwidths are unidirectional bytes/second; real links are full duplex, and
+the simulation gives each direction its own resource, so a single ``Link``
+entry describes both directions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class LinkType(enum.Enum):
+    """Interconnect technology of a link.
+
+    Used by NVML-style discovery (:mod:`repro.cuda.nvml`) to report how two
+    devices are connected, mirroring ``nvmlDeviceGetTopologyCommonAncestor``
+    / NVLink queries on real systems.
+    """
+
+    NVLINK = "nvlink"      #: NVIDIA NVLink brick(s) between GPU/GPU or GPU/CPU
+    XBUS = "xbus"          #: POWER9 X-Bus SMP link between sockets
+    PCIE = "pcie"          #: PCI Express
+    IB = "ib"              #: InfiniBand HCA attach point
+    SHM = "shm"            #: intra-node shared-memory (host DRAM) path
+    INTERNAL = "internal"  #: within-device memory system
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A bidirectional link between two node components.
+
+    Components are referred to by string ids: ``"cpu0"``, ``"gpu3"``,
+    ``"nic0"``.  ``bandwidth`` is the achievable unidirectional data rate in
+    bytes/second and ``latency`` the one-way latency in seconds.
+    """
+
+    a: str
+    b: str
+    type: LinkType
+    bandwidth: float
+    latency: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ConfigurationError(f"link endpoints must differ: {self.a}")
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"link bandwidth must be > 0: {self}")
+        if self.latency < 0:
+            raise ConfigurationError(f"link latency must be >= 0: {self}")
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.type.value}:{self.a}-{self.b}")
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+    def other(self, end: str) -> str:
+        """The endpoint opposite ``end``."""
+        if end == self.a:
+            return self.b
+        if end == self.b:
+            return self.a
+        raise ConfigurationError(f"{end} is not an endpoint of {self.name}")

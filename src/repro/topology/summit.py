@@ -1,0 +1,98 @@
+"""The Summit node model (paper Fig. 10 / Table I).
+
+A Summit node has two POWER9 sockets joined by an X-Bus SMP link.  Each
+socket hosts a *triad* of three V100-SXM2-16GB GPUs; within a triad, each
+GPU connects to its two siblings and to the socket CPU with dual NVLink 2.0
+bricks (~50 GB/s per direction each way).  The node's dual-rail EDR
+InfiniBand adapter provides ~12.5 GB/s per rail per direction (~25 GB/s
+aggregate injection).
+
+Cross-socket GPU-GPU traffic is routed GPU → CPU → X-Bus → CPU → GPU; the
+X-Bus is the shared, lower-bandwidth bottleneck, which is exactly what makes
+node-aware placement matter (§IV-B): high-volume halo exchanges should stay
+inside a triad.
+
+Bandwidth values are the *achievable* unidirectional rates used in the
+paper's Fig. 10 rather than marketing peaks; they can be overridden for
+sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from .links import Link, LinkType
+from .machine import Machine, NetworkSpec
+from .node import GpuSpec, NodeTopology
+
+#: Achievable NVLink 2.0 x2-brick unidirectional bandwidth (B/s).
+NVLINK_BW = 47e9
+#: Effective unidirectional X-Bus (SMP) bandwidth available to GPU traffic.
+XBUS_BW = 28e9
+#: Per-rail EDR InfiniBand unidirectional bandwidth.
+IB_RAIL_BW = 12.5e9
+#: One-way latencies (s).
+NVLINK_LAT = 1.5e-6
+XBUS_LAT = 2.0e-6
+PCIE_LAT = 1.0e-6
+#: Inter-node fabric latency (switch traversal, s).
+FABRIC_LAT = 1.5e-6
+
+SUMMIT_DESCRIPTION = (
+    "2x 22-core POWER9, 6x V100-SXM2-16GB (3 per socket triad), "
+    "NVLink 2.0 x2 bricks GPU-GPU and GPU-CPU within triad, X-Bus between "
+    "sockets, dual-rail EDR InfiniBand NIC "
+    "(cf. Table I: RHEL 7.6, CUDA 418.67, Spectrum MPI 10.3.0.1)"
+)
+
+
+def summit_node(nvlink_bw: float = NVLINK_BW,
+                xbus_bw: float = XBUS_BW,
+                ib_rail_bw: float = IB_RAIL_BW,
+                gpu: GpuSpec | None = None,
+                n_gpus: int = 6) -> NodeTopology:
+    """Build the Summit node topology of Fig. 10.
+
+    Components: ``cpu0 cpu1``, ``gpu0..gpu5`` (gpu0-2 on socket 0,
+    gpu3-5 on socket 1), ``nic0``.  ``n_gpus < 6`` models runs that use
+    only part of the node (the paper's ``Xg`` knob): the first
+    ``min(n, 3)`` GPUs sit on socket 0, the rest on socket 1.
+    """
+    if not 1 <= n_gpus <= 6:
+        raise ValueError(f"summit nodes have 1..6 GPUs, got {n_gpus}")
+    if gpu is None:
+        gpu = GpuSpec(memory_bytes=16 * 2 ** 30, internal_bandwidth=300e9)
+    gpu_socket = tuple(0 if g < 3 else 1 for g in range(n_gpus))
+    links = []
+    # Triad NVLink meshes: GPU<->GPU and GPU<->CPU per socket.
+    for socket in (0, 1):
+        members = tuple(g for g in range(n_gpus) if gpu_socket[g] == socket)
+        for a_i, a in enumerate(members):
+            links.append(Link(f"gpu{a}", f"cpu{socket}", LinkType.NVLINK,
+                              nvlink_bw, NVLINK_LAT))
+            for b in members[a_i + 1:]:
+                links.append(Link(f"gpu{a}", f"gpu{b}", LinkType.NVLINK,
+                                  nvlink_bw, NVLINK_LAT))
+    # SMP link between the sockets.
+    links.append(Link("cpu0", "cpu1", LinkType.XBUS, xbus_bw, XBUS_LAT))
+    # NIC attaches to socket 0 (single PCIe root in the model); socket-1
+    # traffic reaches it over the X-Bus, as on the real machine.
+    links.append(Link("cpu0", "nic0", LinkType.PCIE, 2 * ib_rail_bw, PCIE_LAT))
+    return NodeTopology(
+        name="summit" if n_gpus == 6 else f"summit{n_gpus}",
+        n_sockets=2,
+        gpu_socket=gpu_socket,
+        links=links,
+        n_nics=1,
+        gpu=gpu,
+        description=SUMMIT_DESCRIPTION,
+    )
+
+
+def summit_machine(n_nodes: int = 1, **node_kwargs) -> Machine:
+    """A cluster of Summit nodes joined by dual-rail EDR InfiniBand."""
+    node = summit_node(**node_kwargs)
+    network = NetworkSpec(
+        nic_ports=2,
+        nic_port_bandwidth=node_kwargs.get("ib_rail_bw", IB_RAIL_BW),
+        fabric_latency=FABRIC_LAT,
+    )
+    return Machine(node=node, n_nodes=n_nodes, network=network)

@@ -1,0 +1,38 @@
+"""Shared helpers: fill a domain with a position pattern and verify halos."""
+
+import numpy as np
+
+from repro.core.halo import exchange_directions
+
+
+def fill_pattern(dd) -> None:
+    """Write a unique position-dependent value to every global cell."""
+    Z, Y, X = dd.size.as_zyx()
+    z, y, x = np.meshgrid(np.arange(Z), np.arange(Y), np.arange(X),
+                          indexing="ij")
+    for q in range(dd.quantities):
+        dd.set_global(q, (q * 1_000_000 + x + 1000 * y + 1_000_000 * z)
+                      .astype(dd.dtype))
+
+
+def check_halos(dd) -> None:
+    """Assert every halo cell equals the periodic global value."""
+    Z, Y, X = dd.size.as_zyx()
+    g = [dd.gather_global(q) for q in range(dd.quantities)]
+    lo = dd.radius.low
+    for s in dd.subdomains:
+        o = s.origin
+        for d in exchange_directions(dd.radius):
+            rr = s.domain.recv_region(d)
+            zz = (np.arange(rr.offset.z, rr.offset.z + rr.extent.z)
+                  - lo.z + o.z) % Z
+            yy = (np.arange(rr.offset.y, rr.offset.y + rr.extent.y)
+                  - lo.y + o.y) % Y
+            xx = (np.arange(rr.offset.x, rr.offset.x + rr.extent.x)
+                  - lo.x + o.x) % X
+            for q in range(dd.quantities):
+                got = s.domain.region_view(q, rr)
+                expect = g[q][np.ix_(zz, yy, xx)]
+                assert np.array_equal(got, expect), (
+                    f"halo mismatch: sub {s.linear_id}, dir "
+                    f"{d.as_tuple()}, q {q}")

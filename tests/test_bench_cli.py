@@ -1,0 +1,47 @@
+"""Tests for the `python -m repro.bench` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig03", "fig11", "fig12a", "fig13"):
+            assert name in out
+
+    def test_fig03(self, capsys):
+        assert main(["fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "2x2" in out and "9x1" in out
+
+    def test_fig04(self, capsys):
+        assert main(["fig04"]) == 0
+        assert "(2, 6, 1)" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 2" in out and "XBUS" in out
+
+    def test_fig12b_with_custom_nodes(self, capsys):
+        assert main(["fig12b", "--nodes", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "+kernel" in out and "+remote" in out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["fig04", "--out", str(tmp_path)]) == 0
+        written = (tmp_path / "fig04.txt").read_text()
+        assert "(2, 6, 1)" in written
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_registered_experiment_is_callable(self):
+        # Smoke: the registry stays in sync with the implementations.
+        assert set(EXPERIMENTS) == {
+            "fig03", "fig04", "fig09", "table1", "fig11",
+            "fig12a", "fig12b", "fig12c", "fig13"}

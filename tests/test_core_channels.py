@@ -1,0 +1,127 @@
+"""Unit tests for exchange-plan and channel invariants."""
+
+import pytest
+
+import repro
+from repro import Capability, Dim3
+from repro.core.halo import exchange_directions
+from repro.core.methods import ExchangeMethod
+
+
+def make_dd(nodes=1, rpn=6, size=(24, 18, 12), radius=1, quantities=2,
+            caps=Capability.all(), boundary="periodic"):
+    cluster = repro.SimCluster.create(repro.summit_machine(nodes),
+                                      data_mode=False)
+    world = repro.MpiWorld.create(cluster, rpn)
+    return repro.DistributedDomain(world, size=Dim3.of(size), radius=radius,
+                                   quantities=quantities, capabilities=caps,
+                                   boundary=boundary).realize()
+
+
+class TestPlanStructure:
+    def test_one_channel_per_subdomain_direction(self):
+        dd = make_dd(nodes=2)
+        dirs = exchange_directions(dd.radius)
+        keys = {(ch.src.linear_id, ch.direction.as_tuple())
+                for ch in dd.plan.channels}
+        assert len(keys) == len(dd.plan.channels)  # no duplicates
+        assert len(dd.plan.channels) == len(dd.subdomains) * len(dirs)
+
+    def test_tags_unique(self):
+        dd = make_dd(nodes=2)
+        tags = [ch.tag for ch in dd.plan.channels]
+        assert len(set(tags)) == len(tags)
+
+    def test_plan_bytes_match_halo_math(self):
+        dd = make_dd(nodes=2)
+        assert sum(ch.nbytes for ch in dd.plan.channels) == \
+            dd.bytes_per_exchange()
+
+    def test_send_recv_extents_agree(self):
+        dd = make_dd(nodes=2, radius=2, size=(30, 24, 18))
+        for ch in dd.plan.channels:
+            assert ch.send_reg.extent == ch.recv_reg.extent
+            assert ch.nbytes == (ch.send_reg.volume * dd.quantities
+                                 * dd.dtype.itemsize)
+
+    def test_methods_consistent_with_endpoints(self):
+        dd = make_dd(nodes=2, rpn=6)
+        for ch in dd.plan.channels:
+            m = ch.method
+            if m is ExchangeMethod.KERNEL:
+                assert ch.src is ch.dst
+            elif m is ExchangeMethod.PEER_MEMCPY:
+                assert ch.src.rank is ch.dst.rank
+            elif m is ExchangeMethod.COLOCATED_MEMCPY:
+                assert ch.src.rank is not ch.dst.rank
+                assert ch.src.device.node is ch.dst.device.node
+            elif m is ExchangeMethod.STAGED:
+                # The full ladder only leaves STAGED for cross-node pairs.
+                assert ch.src.device.node is not ch.dst.device.node
+
+
+class TestChannelResources:
+    def test_buffers_allocated_per_method(self):
+        dd = make_dd(nodes=2, rpn=6)
+        for ch in dd.plan.channels:
+            m = ch.method
+            if m is ExchangeMethod.KERNEL:
+                assert ch.pack_buf is None and ch.recv_buf is None
+            elif m is ExchangeMethod.STAGED:
+                assert ch.pack_buf.nbytes == ch.nbytes
+                assert ch.pin_send.nbytes == ch.nbytes
+                assert ch.pin_recv.nbytes == ch.nbytes
+                assert ch.recv_buf.nbytes == ch.nbytes
+            else:
+                assert ch.pack_buf.nbytes == ch.nbytes
+                assert ch.recv_buf.nbytes == ch.nbytes
+
+    def test_streams_live_on_the_right_devices(self):
+        dd = make_dd(nodes=2, rpn=6)
+        for ch in dd.plan.channels:
+            if ch.s_src is not None:
+                assert ch.s_src.device is ch.src.device
+            if ch.s_dst is not None:
+                assert ch.s_dst.device is ch.dst.device
+
+    def test_colocated_remote_buf_is_dst_recv_buf(self):
+        dd = make_dd(rpn=6)
+        colo = [ch for ch in dd.plan.channels
+                if ch.method is ExchangeMethod.COLOCATED_MEMCPY]
+        assert colo
+        for ch in colo:
+            assert ch.remote_buf is ch.recv_buf  # the IPC-opened alias
+
+    def test_peer_access_enabled_where_needed(self):
+        dd = make_dd(rpn=1)
+        for ch in dd.plan.channels:
+            if ch.method is ExchangeMethod.PEER_MEMCPY:
+                assert ch.src.device.peer_enabled(ch.dst.device)
+
+
+class TestBoundaryPlan:
+    def test_fixed_boundary_channel_count(self):
+        """Channel count equals the number of in-range (sub, dir) pairs."""
+        dd = make_dd(nodes=2, boundary="fixed")
+        dirs = exchange_directions(dd.radius)
+        expected = 0
+        for s in dd.subdomains:
+            for d in dirs:
+                if dd.partition.neighbor_or_none(
+                        s.spec.global_idx, d, periodic=False) is not None:
+                    expected += 1
+        assert len(dd.plan.channels) == expected
+
+
+class TestDirectChannelResources:
+    def test_direct_channels_have_no_buffers(self):
+        dd = make_dd(rpn=1, caps=Capability.all_plus_direct())
+        direct = [ch for ch in dd.plan.channels
+                  if ch.method is ExchangeMethod.DIRECT_ACCESS]
+        assert direct
+        for ch in direct:
+            assert ch.pack_buf is None
+            assert ch.recv_buf is None
+            assert ch.s_dst is not None
+            # Destination reads the source: peer access dst -> src.
+            assert ch.dst.device.peer_enabled(ch.src.device)

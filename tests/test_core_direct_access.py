@@ -1,0 +1,113 @@
+"""Tests for the §VI DIRECT_ACCESS exchange method (opt-in extension)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Capability, Dim3
+from repro.core.methods import ExchangeMethod
+from repro.topology.presets import machine_of, pcie_node
+
+
+def make_dd(caps, nodes=1, rpn=1, size=(18, 12, 12), machine=None,
+            data_mode=True):
+    cluster = repro.SimCluster.create(
+        machine or repro.summit_machine(nodes), data_mode=data_mode)
+    world = repro.MpiWorld.create(cluster, rpn)
+    dd = repro.DistributedDomain(world, size=Dim3.of(size), radius=1,
+                                 quantities=2, capabilities=caps)
+    return dd.realize()
+
+
+class TestSelection:
+    def test_direct_selected_for_same_rank_peers(self):
+        dd = make_dd(Capability.all_plus_direct(), rpn=1)
+        counts = dd.plan.method_counts()
+        assert ExchangeMethod.DIRECT_ACCESS in counts
+        assert ExchangeMethod.PEER_MEMCPY not in counts
+
+    def test_not_in_default_ladder(self):
+        dd = make_dd(Capability.all(), rpn=1)
+        assert ExchangeMethod.DIRECT_ACCESS not in dd.plan.method_counts()
+
+    def test_self_exchange_still_kernel(self):
+        dd = make_dd(Capability.all_plus_direct(), rpn=1,
+                     size=(12, 12, 12))
+        counts = dd.plan.method_counts()
+        assert ExchangeMethod.KERNEL in counts
+
+    def test_cross_rank_unaffected(self):
+        dd = make_dd(Capability.all_plus_direct(), rpn=6)
+        counts = dd.plan.method_counts()
+        # One GPU per rank: nothing is same-rank, direct never applies.
+        assert ExchangeMethod.DIRECT_ACCESS not in counts
+        assert ExchangeMethod.COLOCATED_MEMCPY in counts
+
+    def test_no_peer_access_no_direct(self):
+        dd = make_dd(Capability.all_plus_direct(), rpn=1,
+                     machine=machine_of(pcie_node(4)), size=(16, 12, 8))
+        assert ExchangeMethod.DIRECT_ACCESS not in dd.plan.method_counts()
+
+
+class TestCorrectness:
+    def test_halo_exchange_exact(self):
+        dd = make_dd(Capability.all_plus_direct(), rpn=1)
+        Z, Y, X = dd.size.as_zyx()
+        z, y, x = np.meshgrid(np.arange(Z), np.arange(Y), np.arange(X),
+                              indexing="ij")
+        for q in range(2):
+            dd.set_global(q, (q * 100000 + x + 100 * y + 10000 * z)
+                          .astype(dd.dtype))
+        dd.exchange()
+        g = [dd.gather_global(q) for q in range(2)]
+        from repro.core.halo import exchange_directions
+        lo = dd.radius.low
+        for s in dd.subdomains:
+            for d in exchange_directions(dd.radius):
+                rr = s.domain.recv_region(d)
+                zz = (np.arange(rr.offset.z, rr.offset.z + rr.extent.z)
+                      - lo.z + s.origin.z) % Z
+                yy = (np.arange(rr.offset.y, rr.offset.y + rr.extent.y)
+                      - lo.y + s.origin.y) % Y
+                xx = (np.arange(rr.offset.x, rr.offset.x + rr.extent.x)
+                      - lo.x + s.origin.x) % X
+                for q in range(2):
+                    assert np.array_equal(s.domain.region_view(q, rr),
+                                          g[q][np.ix_(zz, yy, xx)])
+
+    def test_jacobi_bitexact_with_direct(self):
+        from repro.stencils import JacobiHeat, reference_jacobi_heat
+        cluster = repro.SimCluster.create(repro.summit_machine(1))
+        world = repro.MpiWorld.create(cluster, 1)
+        dd = repro.DistributedDomain(
+            world, size=Dim3(18, 12, 12), radius=1,
+            capabilities=Capability.all_plus_direct()).realize()
+        init = np.random.default_rng(0).random((12, 12, 18)).astype("f4")
+        dd.set_global(0, init)
+        JacobiHeat(dd, alpha=0.1).run(3)
+        assert np.array_equal(dd.gather_global(0),
+                              reference_jacobi_heat(init, 0.1, 3))
+
+
+class TestPerformance:
+    def _timed(self, caps):
+        dd = make_dd(caps, rpn=1, size=(480, 480, 480), data_mode=False)
+        dd.exchange()
+        return dd.exchange().elapsed
+
+    def test_direct_faster_than_peer_pipeline(self):
+        """No pack/unpack kernels and no staging buffer: for same-rank
+        pairs the single remote-load kernel beats pack+copy+unpack even at
+        reduced link efficiency."""
+        direct = self._timed(Capability.all_plus_direct())
+        peer = self._timed(Capability.all())
+        assert direct < peer
+
+    def test_direct_saves_device_memory(self):
+        dd_d = make_dd(Capability.all_plus_direct(), rpn=1,
+                       size=(96, 96, 96), data_mode=False)
+        dd_p = make_dd(Capability.all(), rpn=1, size=(96, 96, 96),
+                       data_mode=False)
+        used_d = sum(d.used_bytes for d in dd_d.cluster.all_devices())
+        used_p = sum(d.used_bytes for d in dd_p.cluster.all_devices())
+        assert used_d < used_p  # no pack/recv buffers for direct channels

@@ -1,0 +1,154 @@
+"""Tests for halo region geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dim3 import Dim3
+from repro.radius import Radius
+from repro.core.halo import (
+    ALL_DIRECTIONS,
+    Region,
+    allocated_extent,
+    exchange_directions,
+    face_directions,
+    halo_bytes,
+    recv_region,
+    send_region,
+    total_exchange_bytes,
+)
+
+extents = st.integers(min_value=3, max_value=12)
+small_radii = st.integers(min_value=0, max_value=3)
+
+
+def radii_strategy():
+    return st.builds(Radius, small_radii, small_radii, small_radii,
+                     small_radii, small_radii, small_radii)
+
+
+class TestRegion:
+    def test_volume_and_slices(self):
+        r = Region(Dim3(1, 2, 3), Dim3(4, 5, 6))
+        assert r.volume == 120
+        assert r.slices() == (slice(3, 9), slice(2, 7), slice(1, 5))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Region(Dim3(0, 0, 0), Dim3(-1, 1, 1))
+        with pytest.raises(ValueError):
+            Region(Dim3(-1, 0, 0), Dim3(1, 1, 1))
+
+    def test_intersects(self):
+        a = Region(Dim3(0, 0, 0), Dim3(4, 4, 4))
+        b = Region(Dim3(3, 3, 3), Dim3(4, 4, 4))
+        c = Region(Dim3(4, 0, 0), Dim3(4, 4, 4))
+        assert a.intersects(b)
+        assert not a.intersects(c)  # touching is not overlapping
+
+    def test_empty_never_intersects(self):
+        a = Region(Dim3(0, 0, 0), Dim3(0, 4, 4))
+        b = Region(Dim3(0, 0, 0), Dim3(4, 4, 4))
+        assert not a.intersects(b)
+
+
+class TestDirections:
+    def test_26_directions(self):
+        assert len(ALL_DIRECTIONS) == 26
+        assert Dim3(0, 0, 0) not in ALL_DIRECTIONS
+
+    def test_faces_first(self):
+        # Faces (6) come before edges (12) and corners (8).
+        manhattan = [abs(d.x) + abs(d.y) + abs(d.z) for d in ALL_DIRECTIONS]
+        assert manhattan == sorted(manhattan)
+        assert len(face_directions()) == 6
+
+    def test_full_radius_gives_26(self):
+        assert len(exchange_directions(Radius.constant(2))) == 26
+
+    def test_face_only_radius_gives_2(self):
+        dirs = exchange_directions(Radius.face_only(1, axis=0))
+        assert sorted(d.as_tuple() for d in dirs) == [(-1, 0, 0), (1, 0, 0)]
+
+    def test_zero_radius_gives_none(self):
+        assert exchange_directions(Radius.constant(0)) == []
+
+
+class TestRegions:
+    def test_send_plus_x_width_is_opposite_radius(self):
+        """Data sent toward +x fills the neighbor's -x halo (width xm)."""
+        r = Radius(2, 3, 1, 1, 1, 1)  # xm=2, xp=3
+        e = Dim3(10, 10, 10)
+        reg = send_region(e, r, Dim3(1, 0, 0))
+        assert reg.extent == Dim3(2, 10, 10)       # width = xm
+        assert reg.offset.x == r.low.x + e.x - 2   # flush against +x face
+
+    def test_send_minus_x(self):
+        r = Radius(2, 3, 1, 1, 1, 1)
+        reg = send_region(Dim3(10, 10, 10), r, Dim3(-1, 0, 0))
+        assert reg.extent == Dim3(3, 10, 10)       # width = xp
+        assert reg.offset.x == r.low.x
+
+    def test_recv_plus_x(self):
+        r = Radius(2, 3, 1, 1, 1, 1)
+        e = Dim3(10, 10, 10)
+        reg = recv_region(e, r, Dim3(1, 0, 0))
+        assert reg.extent == Dim3(3, 10, 10)       # my +x halo width = xp
+        assert reg.offset.x == r.low.x + e.x
+
+    def test_recv_minus_x_starts_at_zero(self):
+        r = Radius.constant(2)
+        reg = recv_region(Dim3(10, 10, 10), r, Dim3(-1, 0, 0))
+        assert reg.offset.x == 0
+        assert reg.extent.x == 2
+
+    def test_corner_region(self):
+        r = Radius.constant(1)
+        reg = send_region(Dim3(8, 8, 8), r, Dim3(1, 1, 1))
+        assert reg.extent == Dim3(1, 1, 1)
+
+    @given(extents, extents, extents, radii_strategy(),
+           st.sampled_from(ALL_DIRECTIONS))
+    def test_send_recv_extents_match(self, ex, ey, ez, radius, d):
+        """What I pack toward d is exactly what my d-neighbor unpacks."""
+        e = Dim3(ex, ey, ez)
+        s = send_region(e, radius, d)
+        # The receiver sees the data arriving from direction -d.
+        assert s.extent == recv_region(e, radius, -d).extent
+
+    @given(extents, extents, extents, radii_strategy(),
+           st.sampled_from(ALL_DIRECTIONS))
+    def test_regions_inside_allocation(self, ex, ey, ez, radius, d):
+        e = Dim3(ex, ey, ez)
+        alloc = allocated_extent(e, radius)
+        for reg in (send_region(e, radius, d), recv_region(e, radius, d)):
+            assert reg.offset.all_nonnegative()
+            assert (reg.offset + reg.extent).all_le(alloc)
+
+    @given(extents, extents, extents, radii_strategy(),
+           st.sampled_from(ALL_DIRECTIONS))
+    def test_send_is_interior_recv_is_halo(self, ex, ey, ez, radius, d):
+        """Send regions live inside the interior; recv regions outside it."""
+        e = Dim3(ex, ey, ez)
+        interior = Region(radius.low, e)
+        s = send_region(e, radius, d)
+        r = recv_region(e, radius, d)
+        if s.volume:
+            assert interior.intersects(s)
+            assert (s.offset + s.extent).all_le(interior.offset + interior.extent)
+            assert interior.offset.all_le(s.offset)
+        if r.volume:
+            assert not interior.intersects(r)
+
+    def test_halo_bytes(self):
+        # 10x10 face, radius 2, 4 quantities, 4-byte elements.
+        n = halo_bytes(Dim3(10, 10, 10), Radius.constant(2), Dim3(1, 0, 0),
+                       quantities=4, itemsize=4)
+        assert n == 2 * 10 * 10 * 4 * 4
+
+    def test_total_exchange_bytes_positive(self):
+        assert total_exchange_bytes(Dim3(8, 8, 8), Radius.constant(1),
+                                    1, 4) > 0
+
+    def test_allocated_extent(self):
+        assert allocated_extent(Dim3(10, 10, 10), Radius(1, 2, 3, 4, 5, 6)) \
+            == Dim3(13, 17, 21)

@@ -1,0 +1,120 @@
+"""Tests for capability flags and method selection (§III-C)."""
+
+import pytest
+
+from repro.dim3 import Dim3
+from repro.errors import CapabilityError
+from repro.mpi import MpiWorld
+from repro.runtime import SimCluster
+from repro.topology import summit_machine
+from repro.topology.presets import machine_of, pcie_node
+from repro.core.capabilities import LADDER, Capabilities, Capability
+from repro.core.distributed import DistributedDomain
+from repro.core.methods import ExchangeMethod, select_method
+
+
+class TestCapabilityFlags:
+    def test_ladder_is_cumulative(self):
+        assert Capability.remote_only() & Capability.STAGED
+        assert not Capability.remote_only() & Capability.PEER
+        assert Capability.plus_colocated() & Capability.COLOCATED
+        assert Capability.plus_peer() & Capability.PEER
+        assert Capability.all() & Capability.KERNEL
+
+    def test_ladder_dict_order(self):
+        assert list(LADDER) == ["+remote", "+colo", "+peer", "+kernel"]
+
+    def test_cuda_aware_needs_both(self):
+        c = Capabilities(Capability.all(), mpi_cuda_aware=False)
+        assert not c.cuda_aware
+        c = Capabilities(Capability.all(), mpi_cuda_aware=True)
+        assert c.cuda_aware
+        c = Capabilities(Capability.STAGED, mpi_cuda_aware=True)
+        assert not c.cuda_aware
+
+    def test_properties(self):
+        c = Capabilities(Capability.plus_peer(), mpi_cuda_aware=False)
+        assert c.staged and c.colocated and c.peer and not c.kernel
+
+
+def build_subdomains(machine_nodes=1, rpn=6, size=Dim3(24, 24, 24),
+                     machine=None, cuda_aware=False):
+    m = machine or summit_machine(machine_nodes)
+    cluster = SimCluster.create(m, data_mode=False)
+    world = MpiWorld.create(cluster, rpn, cuda_aware=cuda_aware)
+    dd = DistributedDomain(world, size=size, radius=1, quantities=1)
+    dd.realize()
+    return dd
+
+
+class TestSelection:
+    def test_self_exchange_kernel(self):
+        # 1 node x 1 gpu-col in z: size forces a dim of extent 1 in gpu
+        # grid -> plenty of self-exchanges; simplest: single subdomain.
+        dd = build_subdomains(rpn=1, size=Dim3(12, 12, 12))
+        caps = Capabilities(Capability.all(), False)
+        s = dd.subdomains[0]
+        assert select_method(s, s, caps) == ExchangeMethod.KERNEL
+
+    def test_same_rank_peer(self):
+        dd = build_subdomains(rpn=1)
+        caps = Capabilities(Capability.all(), False)
+        a, b = dd.subdomains[0], dd.subdomains[1]
+        assert a.rank is b.rank
+        assert select_method(a, b, caps) == ExchangeMethod.PEER_MEMCPY
+
+    def test_cross_rank_same_node_colocated(self):
+        dd = build_subdomains(rpn=6)
+        caps = Capabilities(Capability.all(), False)
+        a, b = dd.subdomains[0], dd.subdomains[1]
+        assert a.rank is not b.rank
+        assert select_method(a, b, caps) == ExchangeMethod.COLOCATED_MEMCPY
+
+    def test_cross_node_staged(self):
+        dd = build_subdomains(machine_nodes=2, rpn=6, size=Dim3(24, 24, 24))
+        caps = Capabilities(Capability.all(), False)
+        cross = None
+        for a in dd.subdomains:
+            for b in dd.subdomains:
+                if a.device.node is not b.device.node:
+                    cross = (a, b)
+                    break
+            if cross:
+                break
+        assert select_method(*cross, caps) == ExchangeMethod.STAGED
+
+    def test_cross_node_cuda_aware(self):
+        dd = build_subdomains(machine_nodes=2, rpn=6, cuda_aware=True)
+        caps = Capabilities(Capability.all(), True)
+        a = dd.subdomains[0]
+        b = next(s for s in dd.subdomains
+                 if s.device.node is not a.device.node)
+        assert select_method(a, b, caps) == ExchangeMethod.CUDA_AWARE_MPI
+
+    def test_remote_only_forces_mpi_on_node(self):
+        """The '+remote' rung: even same-rank pairs go through MPI."""
+        dd = build_subdomains(rpn=1)
+        caps = Capabilities(Capability.remote_only(), False)
+        a, b = dd.subdomains[0], dd.subdomains[1]
+        assert select_method(a, b, caps) == ExchangeMethod.STAGED
+
+    def test_kernel_disabled_self_exchange_falls_to_peer(self):
+        dd = build_subdomains(rpn=1, size=Dim3(12, 12, 12))
+        caps = Capabilities(Capability.plus_peer(), False)
+        s = dd.subdomains[0]
+        assert select_method(s, s, caps) == ExchangeMethod.PEER_MEMCPY
+
+    def test_no_peer_access_falls_back_to_staged(self):
+        """On the PCIe box nothing but MPI methods apply."""
+        m = machine_of(pcie_node(4))
+        dd = build_subdomains(machine=m, rpn=4, size=Dim3(16, 16, 16))
+        caps = Capabilities(Capability.all(), False)
+        a, b = dd.subdomains[0], dd.subdomains[1]
+        assert select_method(a, b, caps) == ExchangeMethod.STAGED
+
+    def test_nothing_enabled_raises(self):
+        dd = build_subdomains(rpn=1)
+        caps = Capabilities(Capability.KERNEL, False)  # kernel only
+        a, b = dd.subdomains[0], dd.subdomains[1]
+        with pytest.raises(CapabilityError):
+            select_method(a, b, caps)

@@ -1,0 +1,134 @@
+"""Tests for the QAP solvers."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.core.qap import (
+    QapSolution,
+    qap_cost,
+    solve,
+    solve_2opt,
+    solve_exhaustive,
+    solve_scipy_faq,
+)
+
+
+def random_instance(n, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.random((n, n)) * 100
+    d = rng.random((n, n))
+    np.fill_diagonal(w, 0)
+    np.fill_diagonal(d, 0)
+    return w, d
+
+
+class TestCost:
+    def test_identity_cost(self):
+        w = np.array([[0.0, 2.0], [3.0, 0.0]])
+        d = np.array([[0.0, 5.0], [7.0, 0.0]])
+        assert qap_cost(w, d, [0, 1]) == 2 * 5 + 3 * 7
+        assert qap_cost(w, d, [1, 0]) == 2 * 7 + 3 * 5
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            solve_exhaustive(np.ones((2, 3)), np.ones((2, 3)))
+        with pytest.raises(PlacementError):
+            solve_exhaustive(np.ones((2, 2)), np.ones((3, 3)))
+        with pytest.raises(PlacementError):
+            solve_exhaustive(-np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestExhaustive:
+    def test_finds_known_optimum(self):
+        # High flow between facilities 0,1; locations 0,1 are close.
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 100.0
+        d = np.ones((3, 3)) - np.eye(3)
+        d[0, 1] = d[1, 0] = 0.1
+        sol = solve_exhaustive(w, d)
+        # Facilities 0,1 must land on locations {0,1}.
+        assert {sol.perm[0], sol.perm[1]} == {0, 1}
+
+    def test_matches_brute_force(self):
+        w, d = random_instance(5, 42)
+        sol = solve_exhaustive(w, d)
+        best = min(qap_cost(w, d, p)
+                   for p in itertools.permutations(range(5)))
+        assert sol.cost == pytest.approx(best)
+        assert sol.evaluated == 120
+
+    def test_deterministic_tiebreak(self):
+        w = np.zeros((3, 3))      # all assignments cost 0
+        d = np.zeros((3, 3))
+        sol = solve_exhaustive(w, d)
+        assert sol.perm == (0, 1, 2)  # lexicographically smallest
+
+    def test_refuses_large_n(self):
+        with pytest.raises(PlacementError):
+            solve_exhaustive(np.zeros((10, 10)), np.zeros((10, 10)))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15)
+    def test_optimality_property(self, seed):
+        w, d = random_instance(4, seed)
+        sol = solve_exhaustive(w, d)
+        for p in itertools.permutations(range(4)):
+            assert sol.cost <= qap_cost(w, d, p) + 1e-9
+
+
+class TestHeuristics:
+    def test_2opt_improves_or_equals_identity(self):
+        w, d = random_instance(7, 1)
+        sol = solve_2opt(w, d)
+        assert sol.cost <= qap_cost(w, d, list(range(7))) + 1e-9
+        assert sorted(sol.perm) == list(range(7))
+
+    def test_2opt_never_beats_exhaustive(self):
+        for seed in range(5):
+            w, d = random_instance(5, seed)
+            assert solve_2opt(w, d).cost >= solve_exhaustive(w, d).cost - 1e-9
+
+    def test_2opt_bad_start(self):
+        w, d = random_instance(4, 0)
+        with pytest.raises(PlacementError):
+            solve_2opt(w, d, start=[0, 0, 1, 2])
+
+    def test_2opt_custom_start(self):
+        w, d = random_instance(4, 0)
+        sol = solve_2opt(w, d, start=[3, 2, 1, 0])
+        assert sorted(sol.perm) == [0, 1, 2, 3]
+
+    def test_faq_valid_permutation(self):
+        w, d = random_instance(6, 3)
+        sol = solve_scipy_faq(w, d)
+        assert sorted(sol.perm) == list(range(6))
+        assert sol.cost == pytest.approx(qap_cost(w, d, sol.perm))
+
+    def test_faq_deterministic(self):
+        w, d = random_instance(6, 3)
+        assert solve_scipy_faq(w, d, seed=1).perm == \
+            solve_scipy_faq(w, d, seed=1).perm
+
+
+class TestDispatch:
+    def test_auto_small_is_exact(self):
+        w, d = random_instance(5, 7)
+        assert solve(w, d).method == "exhaustive"
+
+    def test_auto_large_is_2opt(self):
+        w, d = random_instance(9, 7)
+        assert solve(w, d).method == "2opt"
+
+    def test_explicit_methods(self):
+        w, d = random_instance(4, 7)
+        for m in ("exhaustive", "2opt", "faq"):
+            assert isinstance(solve(w, d, method=m), QapSolution)
+
+    def test_unknown_method(self):
+        w, d = random_instance(4, 7)
+        with pytest.raises(PlacementError):
+            solve(w, d, method="quantum")

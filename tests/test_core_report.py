@@ -1,0 +1,83 @@
+"""Tests for partition/placement reporting."""
+
+import pytest
+
+import repro
+from repro import Dim3
+from repro.errors import ConfigurationError
+from repro.core.partition import HierarchicalPartition
+from repro.core.report import partition_narrative, placement_table, slice_map
+
+
+class TestNarrative:
+    def test_fig4_walkthrough(self):
+        text = partition_narrative(Dim3(4, 24, 2), 12, 4)
+        assert "prime factors of 12: 3, 2, 2" in text
+        assert "split y by 3" in text
+        assert "split x by 2" in text
+        assert "(2, 6, 1)" in text
+        assert "48 subdomains" in text
+
+    def test_single_partition(self):
+        text = partition_narrative(Dim3(8, 8, 8), 1, 1)
+        assert "(1, 1, 1)" in text
+
+
+class TestSliceMap:
+    def test_every_subdomain_appears(self):
+        hp = HierarchicalPartition(Dim3(24, 24, 1), 1, 4)
+        text = slice_map(hp, z=0)
+        body = "".join(text.splitlines()[1:])
+        assert set("0123") <= set(body)
+
+    def test_contiguous_blocks(self):
+        hp = HierarchicalPartition(Dim3(16, 8, 1), 1, 2)  # split x by 2
+        rows = slice_map(hp, z=0).splitlines()[1:]
+        for row in rows:
+            # Left half one glyph, right half another, no interleaving.
+            assert sorted(set(row)) == ["0", "1"]
+            assert row == "".join(sorted(row))
+
+    def test_z_bounds(self):
+        hp = HierarchicalPartition(Dim3(8, 8, 8), 1, 2)
+        with pytest.raises(ConfigurationError):
+            slice_map(hp, z=8)
+
+    def test_large_grid_downsampled(self):
+        hp = HierarchicalPartition(Dim3(960, 960, 4), 1, 6)
+        rows = slice_map(hp, z=0, max_width=48).splitlines()[1:]
+        assert all(len(r) <= 49 for r in rows)
+
+
+class TestPlacementTable:
+    def test_reports_every_subdomain(self):
+        cluster = repro.SimCluster.create(repro.summit_machine(1),
+                                          data_mode=False)
+        world = repro.MpiWorld.create(cluster, 6)
+        dd = repro.DistributedDomain(world, size=Dim3(48, 48, 48),
+                                     radius=1).realize()
+        text = placement_table(dd)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 6
+        assert "via nvlink" in text or "via xbus" in text
+
+    def test_fig11_heavy_exchanges_on_nvlink(self):
+        """With node-aware placement on the Fig. 11 domain, every
+        subdomain's heaviest on-node exchange goes over NVLink."""
+        cluster = repro.SimCluster.create(repro.summit_machine(1),
+                                          data_mode=False)
+        world = repro.MpiWorld.create(cluster, 6)
+        dd = repro.DistributedDomain(world, size=Dim3(1440, 1452, 700),
+                                     radius=2, quantities=4).realize()
+        text = placement_table(dd)
+        heavy_lines = [l for l in text.splitlines()[1:] if "via" in l]
+        assert heavy_lines
+        assert all("via nvlink" in l for l in heavy_lines)
+
+    def test_fixed_boundary_domain(self):
+        cluster = repro.SimCluster.create(repro.summit_machine(1),
+                                          data_mode=False)
+        world = repro.MpiWorld.create(cluster, 6)
+        dd = repro.DistributedDomain(world, size=Dim3(48, 48, 48), radius=1,
+                                     boundary="fixed").realize()
+        assert placement_table(dd)  # renders without wrap errors

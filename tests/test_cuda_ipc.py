@@ -1,0 +1,80 @@
+"""Tests for the simulated cudaIpc* interface."""
+
+import pytest
+
+from repro.cuda.ipc import IpcMemHandle, ipc_get_mem_handle, ipc_open_mem_handle
+from repro.errors import IpcError
+from repro.mpi import MpiWorld
+from repro.runtime import SimCluster
+from repro.topology import summit_machine
+
+
+@pytest.fixture
+def setup():
+    cluster = SimCluster.create(summit_machine(2))
+    world = MpiWorld.create(cluster, ranks_per_node=6)
+    return cluster, world
+
+
+class TestIpc:
+    def test_handle_roundtrip_same_node(self, setup):
+        cluster, world = setup
+        owner, opener = world.ranks[0], world.ranks[1]
+        buf = owner.devices[0].alloc(1024)
+        h = ipc_get_mem_handle(owner.ctx, buf, owner.index)
+        assert isinstance(h, IpcMemHandle)
+        opened = ipc_open_mem_handle(opener.ctx, h, opener.index,
+                                     opener.node.index)
+        assert opened is buf
+        cluster.run()
+
+    def test_open_in_owner_process_rejected(self, setup):
+        cluster, world = setup
+        owner = world.ranks[0]
+        buf = owner.devices[0].alloc(64)
+        h = ipc_get_mem_handle(owner.ctx, buf, owner.index)
+        with pytest.raises(IpcError):
+            ipc_open_mem_handle(owner.ctx, h, owner.index, owner.node.index)
+
+    def test_open_across_nodes_rejected(self, setup):
+        cluster, world = setup
+        owner = world.ranks[0]          # node 0
+        opener = world.ranks[6]         # node 1
+        buf = owner.devices[0].alloc(64)
+        h = ipc_get_mem_handle(owner.ctx, buf, owner.index)
+        with pytest.raises(IpcError):
+            ipc_open_mem_handle(opener.ctx, h, opener.index,
+                                opener.node.index)
+
+    def test_freed_buffer_rejected(self, setup):
+        cluster, world = setup
+        owner = world.ranks[0]
+        buf = owner.devices[0].alloc(64)
+        h = ipc_get_mem_handle(owner.ctx, buf, owner.index)
+        buf.free()
+        from repro.errors import CudaError
+        with pytest.raises(CudaError):
+            ipc_open_mem_handle(world.ranks[1].ctx, h, 1, 0)
+
+    def test_open_charges_setup_cost(self, setup):
+        cluster, world = setup
+        owner, opener = world.ranks[0], world.ranks[1]
+        buf = owner.devices[0].alloc(64)
+        h = ipc_get_mem_handle(owner.ctx, buf, owner.index)
+        ipc_open_mem_handle(opener.ctx, h, opener.index, opener.node.index)
+        t = cluster.run()
+        assert t >= cluster.cost.ipc_setup_overhead
+
+    def test_handle_ships_through_mpi(self, setup):
+        """The Fig. 7b protocol: handle goes dst -> src as an object msg."""
+        cluster, world = setup
+        dst, src = world.ranks[0], world.ranks[1]
+        buf = dst.devices[0].alloc(256)
+        h = ipc_get_mem_handle(dst.ctx, buf, dst.index)
+        dst.isend(h, src.index, tag=99)
+        req = src.irecv(None, dst.index, tag=99)
+        cluster.run()
+        assert req.completed
+        opened = ipc_open_mem_handle(src.ctx, req.data, src.index,
+                                     src.node.index)
+        assert opened is buf

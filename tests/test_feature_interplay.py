@@ -1,0 +1,123 @@
+"""Cross-feature interaction tests.
+
+Each extension is tested on its own elsewhere; these cases combine them —
+consolidation with fixed boundaries, deep halos with consolidation,
+empirical placement with direct access, partial Summit nodes — because
+feature interactions are where orchestration bugs hide.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Capability, Dim3
+from repro.core.methods import ExchangeMethod
+from repro.core.verify import verify_halos
+
+from tests.exchange_helpers import fill_pattern
+
+
+def build(nodes=2, rpn=6, size=(24, 18, 12), n_gpus=6, **kw):
+    machine = repro.Machine(node=repro.summit_node(n_gpus=n_gpus),
+                            n_nodes=nodes,
+                            network=repro.NetworkSpec())
+    cluster = repro.SimCluster.create(machine,
+                                      data_mode=kw.pop("data_mode", True))
+    world = repro.MpiWorld.create(cluster, rpn,
+                                  cuda_aware=kw.pop("cuda_aware", False))
+    return repro.DistributedDomain(world, size=Dim3.of(size), **kw).realize()
+
+
+class TestConsolidationInterplay:
+    def test_with_fixed_boundary(self):
+        # rpn=2 (3 GPUs per rank): without periodic wrap each subdomain
+        # pair has a single direction, so grouping needs rank pairs that
+        # own several cross-node channels.
+        dd = build(rpn=2, radius=1, boundary="fixed",
+                   consolidate_remote=True)
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+        assert dd.plan.groups  # cross-node staged traffic still grouped
+
+    def test_fixed_boundary_one_gpu_per_rank_has_nothing_to_group(self):
+        """Without the periodic wrap, two subdomains share at most one
+        direction; with one GPU per rank every cross-node rank pair then
+        has a single channel and consolidation correctly forms no group."""
+        dd = build(rpn=6, radius=1, boundary="fixed",
+                   consolidate_remote=True)
+        assert dd.plan.groups == []
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+
+    def test_with_deep_halos(self):
+        from repro.stencils.deep_halo import DeepHaloJacobi
+        from repro.stencils import reference_jacobi_heat
+        dd = build(radius=2, quantities=1, consolidate_remote=True,
+                   size=(24, 18, 18))
+        init = np.random.default_rng(0).random((18, 18, 24)).astype("f4")
+        dd.set_global(0, init)
+        DeepHaloJacobi(dd, alpha=0.05, steps_per_exchange=2).run(4)
+        assert np.array_equal(dd.gather_global(0),
+                              reference_jacobi_heat(init, 0.05, 4))
+
+    def test_with_cuda_aware(self):
+        """CUDA-aware remote method leaves nothing STAGED to consolidate."""
+        dd = build(radius=1, consolidate_remote=True, cuda_aware=True)
+        assert dd.plan.groups == []
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+
+
+class TestDirectInterplay:
+    def test_direct_with_empirical_placement(self):
+        dd = build(nodes=1, rpn=1,
+                   capabilities=Capability.all_plus_direct(),
+                   placement="node_aware_empirical")
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+        assert ExchangeMethod.DIRECT_ACCESS in dd.plan.method_counts()
+
+    def test_direct_with_fixed_boundary(self):
+        dd = build(nodes=1, rpn=1, boundary="fixed",
+                   capabilities=Capability.all_plus_direct())
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+
+
+class TestPartialNodes:
+    @pytest.mark.parametrize("n_gpus,rpn", [(2, 1), (2, 2), (4, 4), (4, 2)])
+    def test_partial_summit_nodes_exchange_correctly(self, n_gpus, rpn):
+        dd = build(nodes=1, rpn=rpn, n_gpus=n_gpus, size=(16, 12, 12),
+                   radius=1)
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+
+    def test_fig9_config_shape(self):
+        """The paper's Fig. 9 setting: 2 ranks each driving 2 GPUs."""
+        dd = build(nodes=1, rpn=2, n_gpus=4, size=(16, 16, 12), radius=1)
+        counts = dd.plan.method_counts()
+        assert ExchangeMethod.PEER_MEMCPY in counts       # within a rank
+        assert ExchangeMethod.COLOCATED_MEMCPY in counts  # across ranks
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+
+
+class TestAsymmetricRadiusInterplay:
+    def test_one_sided_radius_with_fixed_boundary(self):
+        from repro.radius import Radius
+        dd = build(nodes=1, radius=Radius(1, 0, 0, 0, 0, 0),
+                   boundary="fixed", size=(18, 12, 12))
+        fill_pattern(dd)
+        dd.exchange()
+        verify_halos(dd)
+        # Only the interior -x-facing channels exist: (gpu grid x extent
+        # minus the boundary column) per x-row.
+        from repro.core.halo import exchange_directions
+        assert len(exchange_directions(dd.radius)) == 1

@@ -1,0 +1,106 @@
+"""Tests for the simulated MPI collectives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MpiError
+from repro.mpi import MpiWorld
+from repro.mpi.collectives import allgather, allreduce, bcast
+from repro.runtime import SimCluster
+from repro.topology import summit_machine
+from repro.topology.presets import flat_node, machine_of
+
+
+def make_world(nodes=2, rpn=3):
+    cluster = SimCluster.create(summit_machine(nodes))
+    return cluster, MpiWorld.create(cluster, rpn)
+
+
+class TestBcast:
+    def test_all_ranks_receive(self):
+        cluster, w = make_world()
+        vals = bcast(w, {"cfg": 42}, root=0)
+        assert vals == [{"cfg": 42}] * w.size
+
+    def test_nonzero_root(self):
+        cluster, w = make_world()
+        vals = bcast(w, "hello", root=3)
+        assert vals == ["hello"] * w.size
+
+    def test_invalid_root(self):
+        cluster, w = make_world()
+        with pytest.raises(MpiError):
+            bcast(w, 1, root=99)
+
+    def test_single_rank_world(self):
+        cluster = SimCluster.create(machine_of(flat_node(1)))
+        w = MpiWorld.create(cluster, 1)
+        assert bcast(w, 7) == [7]
+
+    def test_takes_virtual_time(self):
+        cluster, w = make_world()
+        t0 = cluster.now
+        bcast(w, "payload")
+        assert cluster.now > t0
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_various_world_sizes(self, rpn):
+        if 6 % rpn:
+            return
+        cluster, w = make_world(nodes=1, rpn=rpn)
+        assert bcast(w, ("x", rpn)) == [("x", rpn)] * rpn
+
+
+class TestAllgather:
+    def test_everyone_gets_everything_in_rank_order(self):
+        cluster, w = make_world(nodes=1, rpn=6)
+        contributions = [f"item{r}" for r in range(6)]
+        out = allgather(w, contributions)
+        assert all(row == contributions for row in out)
+
+    def test_multinode(self):
+        cluster, w = make_world(nodes=2, rpn=2)
+        out = allgather(w, list(range(4)))
+        assert all(row == [0, 1, 2, 3] for row in out)
+
+    def test_wrong_contribution_count(self):
+        cluster, w = make_world()
+        with pytest.raises(MpiError):
+            allgather(w, [1, 2])
+
+    def test_two_ranks(self):
+        cluster, w = make_world(nodes=1, rpn=2)
+        out = allgather(w, ["a", "b"])
+        assert out == [["a", "b"], ["a", "b"]]
+
+
+class TestAllreduce:
+    def test_sum(self):
+        cluster, w = make_world(nodes=1, rpn=6)
+        out = allreduce(w, list(range(6)), op=lambda a, b: a + b)
+        assert out == [15] * 6
+
+    def test_max(self):
+        cluster, w = make_world(nodes=2, rpn=3)
+        vals = [3, 1, 4, 1, 5, 9]
+        out = allreduce(w, vals, op=max)
+        assert out == [9] * 6
+
+    def test_noncommutative_ordering_is_deterministic(self):
+        cluster, w = make_world(nodes=1, rpn=6)
+        out = allreduce(w, ["a", "b", "c", "d", "e", "f"],
+                        op=lambda a, b: a + b)
+        assert len(set(out)) == 1
+        assert sorted(out[0]) == list("abcdef")
+
+    def test_wrong_count(self):
+        cluster, w = make_world()
+        with pytest.raises(MpiError):
+            allreduce(w, [1], op=max)
+
+    def test_sequential_collectives_dont_crossmatch(self):
+        cluster, w = make_world(nodes=1, rpn=6)
+        assert allreduce(w, [1] * 6, op=lambda a, b: a + b) == [6] * 6
+        assert allreduce(w, [2] * 6, op=lambda a, b: a + b) == [12] * 6
+        assert bcast(w, "after") == ["after"] * 6

@@ -1,0 +1,283 @@
+"""Tests for simulated MPI point-to-point transport."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MpiError, TruncationError
+from repro.mpi import MpiWorld
+from repro.runtime import SimCluster
+from repro.topology import summit_machine
+
+
+def make_world(nodes=2, rpn=6, cuda_aware=False, cost=None):
+    cluster = SimCluster.create(summit_machine(nodes), cost=cost)
+    return cluster, MpiWorld.create(cluster, rpn, cuda_aware=cuda_aware)
+
+
+class TestMatching:
+    def test_send_then_recv(self):
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(64), w.ranks[1].alloc_pinned(64)
+        a.array[:] = 5
+        w.ranks[0].isend(a, 1, tag=7)
+        r = w.ranks[1].irecv(b, 0, tag=7)
+        cluster.run()
+        assert r.completed and (b.array == 5).all()
+
+    def test_recv_then_send(self):
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(64), w.ranks[1].alloc_pinned(64)
+        a.array[:] = 9
+        r = w.ranks[1].irecv(b, 0, tag=7)
+        w.ranks[0].isend(a, 1, tag=7)
+        cluster.run()
+        assert r.completed and (b.array == 9).all()
+
+    def test_tag_discrimination(self):
+        cluster, w = make_world()
+        a1, a2 = w.ranks[0].alloc_pinned(8), w.ranks[0].alloc_pinned(8)
+        b1, b2 = w.ranks[1].alloc_pinned(8), w.ranks[1].alloc_pinned(8)
+        a1.array[:] = 1
+        a2.array[:] = 2
+        w.ranks[0].isend(a1, 1, tag=1)
+        w.ranks[0].isend(a2, 1, tag=2)
+        w.ranks[1].irecv(b2, 0, tag=2)
+        w.ranks[1].irecv(b1, 0, tag=1)
+        cluster.run()
+        assert (b1.array == 1).all() and (b2.array == 2).all()
+
+    def test_fifo_within_same_key(self):
+        """Two messages, same (src, dst, tag): order preserved."""
+        cluster, w = make_world()
+        a1, a2 = w.ranks[0].alloc_pinned(8), w.ranks[0].alloc_pinned(8)
+        b1, b2 = w.ranks[1].alloc_pinned(8), w.ranks[1].alloc_pinned(8)
+        a1.array[:] = 1
+        a2.array[:] = 2
+        w.ranks[0].isend(a1, 1, tag=5)
+        w.ranks[0].isend(a2, 1, tag=5)
+        w.ranks[1].irecv(b1, 0, tag=5)
+        w.ranks[1].irecv(b2, 0, tag=5)
+        cluster.run()
+        assert (b1.array == 1).all() and (b2.array == 2).all()
+
+    def test_status_populated(self):
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(64), w.ranks[1].alloc_pinned(64)
+        w.ranks[0].isend(a, 1, tag=3)
+        r = w.ranks[1].irecv(b, 0, tag=3)
+        cluster.run()
+        assert r.status.source == 0
+        assert r.status.tag == 3
+        assert r.status.count_bytes == 64
+
+    def test_truncation(self):
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(128), w.ranks[1].alloc_pinned(64)
+        w.ranks[0].isend(a, 1, tag=1)
+        w.ranks[1].irecv(b, 0, tag=1)
+        with pytest.raises(TruncationError):
+            cluster.run()
+
+    def test_bigger_recv_buffer_ok(self):
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(32), w.ranks[1].alloc_pinned(64)
+        a.array[:] = 4
+        w.ranks[0].isend(a, 1, tag=1)
+        r = w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        assert (b.array[:32] == 4).all()
+        assert r.status.count_bytes == 32
+
+    def test_unmatched_diagnostics(self):
+        cluster, w = make_world()
+        a = w.ranks[0].alloc_pinned(8)
+        w.ranks[0].isend(a, 1, tag=1)
+        cluster.run()
+        assert any("t1" in s for s in w.transport.unmatched())
+
+
+class TestProtocols:
+    def test_small_message_is_eager(self):
+        """Eager sends complete without a matching receive."""
+        cluster, w = make_world()
+        a = w.ranks[0].alloc_pinned(1024)   # below rendezvous threshold
+        sreq = w.ranks[0].isend(a, 1, tag=1)
+        cluster.run()
+        assert sreq.completed               # no recv posted yet!
+        b = w.ranks[1].alloc_pinned(1024)
+        rreq = w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        assert rreq.completed
+
+    def test_large_message_is_rendezvous(self):
+        """Rendezvous sends cannot complete until the receive is posted."""
+        cluster, w = make_world()
+        a = w.ranks[0].alloc_pinned(1 << 20)
+        sreq = w.ranks[0].isend(a, 1, tag=1)
+        cluster.run()
+        assert not sreq.completed
+        b = w.ranks[1].alloc_pinned(1 << 20)
+        w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        assert sreq.completed
+
+    def test_self_send(self):
+        cluster, w = make_world()
+        r0 = w.ranks[0]
+        a, b = r0.alloc_pinned(1 << 20), r0.alloc_pinned(1 << 20)
+        a.array[:] = 6
+        r0.isend(a, 0, tag=1)
+        req = r0.irecv(b, 0, tag=1)
+        cluster.run()
+        assert req.completed and (b.array == 6).all()
+
+    def test_object_message(self):
+        cluster, w = make_world()
+        w.ranks[0].isend({"k": [1, 2, 3]}, 1, tag=1)
+        req = w.ranks[1].irecv(None, 0, tag=1)
+        cluster.run()
+        assert req.data == {"k": [1, 2, 3]}
+
+    def test_intranode_lower_latency_than_internode(self):
+        """Small (latency-bound) messages: shm beats the fabric.
+
+        Note the deliberate *non*-assertion for large messages: a single
+        Spectrum-MPI shm copy (~9 GB/s) is genuinely slower than one EDR
+        rail (12.5 GB/s) on Summit, which is exactly why staging all GPU
+        traffic through host MPI is so costly on-node (Fig. 12a).
+        """
+        nbytes = 64  # latency-bound
+
+        def timed(src, dst):
+            cluster, w = make_world(nodes=2, rpn=6)
+            a = w.ranks[src].alloc_pinned(nbytes)
+            b = w.ranks[dst].alloc_pinned(nbytes)
+            w.ranks[src].isend(a, dst, tag=1)
+            w.ranks[dst].irecv(b, src, tag=1)
+            return cluster.run()
+
+        assert timed(0, 1) < timed(0, 6)
+
+
+class TestValidation:
+    def test_invalid_rank(self):
+        cluster, w = make_world(nodes=1)
+        a = w.ranks[0].alloc_pinned(8)
+        with pytest.raises(MpiError):
+            w.ranks[0].isend(a, 99, tag=1)
+        with pytest.raises(MpiError):
+            w.ranks[0].irecv(a, -1, tag=1)
+
+    def test_foreign_pinned_buffer_rejected(self):
+        cluster, w = make_world(nodes=2)
+        other_node_buf = w.ranks[6].alloc_pinned(8)
+        with pytest.raises(MpiError):
+            w.ranks[0].isend(other_node_buf, 1, tag=1)
+
+    def test_invisible_device_buffer_rejected(self):
+        cluster, w = make_world(nodes=1, rpn=6, cuda_aware=True)
+        buf = cluster.device(3).alloc(64)
+        with pytest.raises(MpiError):
+            w.ranks[0].isend(buf, 1, tag=1)  # gpu3 belongs to rank 3
+
+    def test_device_buffer_without_cuda_aware(self):
+        cluster, w = make_world(nodes=1, rpn=6, cuda_aware=False)
+        a = cluster.device(0).alloc(1 << 20)
+        b = cluster.device(1).alloc(1 << 20)
+        w.ranks[0].isend(a, 1, tag=1)
+        w.ranks[1].irecv(b, 0, tag=1)
+        with pytest.raises(MpiError):
+            cluster.run()
+
+    def test_mixed_host_device_rejected(self):
+        cluster, w = make_world(nodes=1, rpn=6, cuda_aware=True)
+        a = cluster.device(0).alloc(1 << 20)
+        b = w.ranks[1].alloc_pinned(1 << 20)
+        w.ranks[0].isend(a, 1, tag=1)
+        w.ranks[1].irecv(b, 0, tag=1)
+        with pytest.raises(MpiError):
+            cluster.run()
+
+    def test_ranks_must_divide_gpus(self):
+        cluster = SimCluster.create(summit_machine(1))
+        with pytest.raises(ConfigurationError):
+            MpiWorld.create(cluster, ranks_per_node=4)
+        with pytest.raises(ConfigurationError):
+            MpiWorld.create(cluster, ranks_per_node=0)
+
+
+class TestCudaAware:
+    def test_device_to_device_moves_data(self):
+        cluster, w = make_world(nodes=1, rpn=6, cuda_aware=True)
+        a = cluster.device(0).alloc_array((256,), "f4")
+        b = cluster.device(1).alloc_array((256,), "f4")
+        a.array[:] = np.arange(256)
+        w.ranks[0].isend(a, 1, tag=1)
+        req = w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        assert req.completed and np.array_equal(a.array, b.array)
+
+    def test_internode_device_transfer(self):
+        cluster, w = make_world(nodes=2, rpn=6, cuda_aware=True)
+        a = cluster.device(0).alloc_array((256,), "f4")
+        b = cluster.device(6).alloc_array((256,), "f4")
+        a.array[:] = 3
+        w.ranks[0].isend(a, 6, tag=1)
+        req = w.ranks[6].irecv(b, 0, tag=1)
+        cluster.run()
+        assert req.completed and (b.array == 3).all()
+
+    def test_default_stream_serialization(self):
+        """Two CUDA-aware sends from one GPU serialize on its default
+        stream even over disjoint NVLink pairs (the §IV-D pathology):
+        gpu0→gpu1 and gpu0→gpu2 take ≈ twice one such send."""
+        nbytes = 16 << 20
+
+        def timed(pairs):
+            cluster, w = make_world(nodes=1, rpn=6, cuda_aware=True)
+            for i, (sg, dg) in enumerate(pairs):
+                a = cluster.device(sg).alloc(nbytes)
+                b = cluster.device(dg).alloc(nbytes)
+                w.ranks[sg].isend(a, dg, tag=i)
+                w.ranks[dg].irecv(b, sg, tag=i)
+            return cluster.run()
+
+        one = timed([(0, 1)])
+        two_same_src = timed([(0, 1), (0, 2)])
+        assert two_same_src > 1.7 * one
+
+    def test_per_message_sync_cost(self):
+        """CUDA-aware pays the per-message device-sync overhead."""
+        from repro.runtime import CostModel
+        slow = CostModel(cuda_aware_sync_overhead=500e-6)
+        fast = CostModel(cuda_aware_sync_overhead=1e-6)
+
+        def timed(cost):
+            cluster, w = make_world(nodes=1, rpn=6, cuda_aware=True,
+                                    cost=cost)
+            a = cluster.device(0).alloc(1 << 10)
+            b = cluster.device(1).alloc(1 << 10)
+            w.ranks[0].isend(a, 1, tag=1)
+            w.ranks[1].irecv(b, 0, tag=1)
+            return cluster.run()
+
+        assert timed(slow) > timed(fast) + 400e-6
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        cluster, w = make_world(nodes=2)
+        join = w.barrier()
+        cluster.run()
+        assert join.completed
+        assert join.completion_time > 0
+
+    def test_barrier_orders_subsequent_work(self):
+        cluster, w = make_world(nodes=1)
+        # rank 0 does slow work pre-barrier; rank 1's post-barrier op
+        # cannot start before rank 0 arrives.
+        slow = w.ranks[0].ctx.issue("slow", cost=1e-3)
+        join = w.barrier()
+        after = w.ranks[1].ctx.issue("after")
+        cluster.run()
+        assert after.start_time >= slow.completion_time

@@ -1,0 +1,141 @@
+"""Component-level property tests (hypothesis).
+
+Randomized invariants for the pieces under the exchange: pack/unpack
+round-trips over arbitrary regions, QAP objective identities, trace
+rendering robustness, and balanced-split/partition dualities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro import Dim3
+from repro.radius import Radius
+from repro.core.halo import ALL_DIRECTIONS, Region, recv_region, send_region
+from repro.core.local_domain import LocalDomain
+from repro.core.packing import pack_action, unpack_action
+from repro.core.qap import qap_cost, solve_2opt
+
+
+@pytest.fixture(scope="module")
+def device():
+    return repro.SimCluster.create(repro.summit_machine(1)).device(0)
+
+
+extents = st.integers(3, 10)
+radii = st.integers(0, 2)
+
+
+class TestPackUnpackProperties:
+    @given(extents, extents, extents, st.integers(1, 3),
+           st.sampled_from(ALL_DIRECTIONS), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_region(self, device, ex, ey, ez, nq, direction,
+                                  seed):
+        """pack(unpack(x)) preserves halo payloads for any geometry."""
+        src = LocalDomain(device, Dim3(ex, ey, ez), Radius.constant(1),
+                          nq, "f4")
+        dst = LocalDomain(device, Dim3(ex, ey, ez), Radius.constant(1),
+                          nq, "f4")
+        rng = np.random.default_rng(seed)
+        for q in range(nq):
+            src.set_interior(q, rng.random((ez, ey, ex)).astype("f4"))
+        sreg = src.send_region(direction)
+        rreg = dst.recv_region(-direction)
+        buf = device.alloc(src.region_nbytes(sreg))
+        try:
+            pack_action(src, sreg, buf)()
+            unpack_action(dst, rreg, buf)()
+            for q in range(nq):
+                assert np.array_equal(src.region_view(q, sreg),
+                                      dst.region_view(q, rreg))
+        finally:
+            buf.free()
+            src.free()
+            dst.free()
+
+    @given(extents, extents, extents, radii, radii, radii, radii, radii,
+           radii)
+    @settings(max_examples=40, deadline=None)
+    def test_send_regions_tile_disjointly_per_axis_sign(
+            self, ex, ey, ez, a, b, c, d, e, f):
+        """Face send regions on opposite sides never overlap when the
+        interior is wide enough (the realize() guard's invariant)."""
+        r = Radius(a, b, c, d, e, f)
+        extent = Dim3(ex + 2 * r.max, ey + 2 * r.max, ez + 2 * r.max)
+        for axis, (dneg, dpos) in enumerate([
+                (Dim3(-1, 0, 0), Dim3(1, 0, 0)),
+                (Dim3(0, -1, 0), Dim3(0, 1, 0)),
+                (Dim3(0, 0, -1), Dim3(0, 0, 1))]):
+            lo = send_region(extent, r, dneg)
+            hi = send_region(extent, r, dpos)
+            if lo.volume and hi.volume:
+                assert not lo.intersects(hi)
+
+    @given(extents, extents, extents, st.sampled_from(ALL_DIRECTIONS))
+    @settings(max_examples=30, deadline=None)
+    def test_recv_regions_of_distinct_directions_disjoint(self, ex, ey, ez,
+                                                          d1):
+        """Each direction unpacks into its own halo box; overlapping
+        unpack targets would corrupt each other."""
+        r = Radius.constant(1)
+        extent = Dim3(ex, ey, ez)
+        r1 = recv_region(extent, r, d1)
+        for d2 in ALL_DIRECTIONS:
+            if d2 == d1:
+                continue
+            r2 = recv_region(extent, r, d2)
+            assert not r1.intersects(r2), (d1, d2)
+
+
+class TestQapProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_cost_invariant_under_simultaneous_relabeling(self, seed):
+        """Renaming facilities and locations by the same permutation
+        leaves the objective unchanged."""
+        rng = np.random.default_rng(seed)
+        n = 5
+        w = rng.random((n, n))
+        d = rng.random((n, n))
+        perm = rng.permutation(n)
+        sigma = rng.permutation(n)
+        base = qap_cost(w, d, perm)
+        w2 = w[np.ix_(sigma, sigma)]
+        perm2 = perm[sigma]
+        assert qap_cost(w2, d, perm2) == pytest.approx(base)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_2opt_is_a_local_optimum(self, seed):
+        """No single swap improves the 2-opt result (definition check)."""
+        rng = np.random.default_rng(seed)
+        n = 5
+        w, d = rng.random((n, n)), rng.random((n, n))
+        sol = solve_2opt(w, d)
+        best = list(sol.perm)
+        for i in range(n):
+            for j in range(i + 1, n):
+                trial = best.copy()
+                trial[i], trial[j] = trial[j], trial[i]
+                assert qap_cost(w, d, trial) >= sol.cost - 1e-9
+
+
+class TestTraceProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.sampled_from(["pack", "mpi", "weird"]),
+                              st.floats(0, 10, allow_nan=False),
+                              st.floats(0.001, 5, allow_nan=False)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_gantt_never_crashes_and_covers_lanes(self, spans):
+        from repro.sim import Tracer
+        from repro.sim.trace import render_gantt
+        tr = Tracer()
+        for lane, kind, start, dur in spans:
+            tr.record(lane, kind, f"{lane}/{kind}", start, start + dur)
+        out = render_gantt(tr, width=40)
+        for lane in tr.lanes():
+            assert lane in out
+        assert tr.overlap_fraction() > 0

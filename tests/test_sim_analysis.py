@@ -1,0 +1,97 @@
+"""Tests for utilization reporting and trace export."""
+
+import csv
+import io
+
+import pytest
+
+import repro
+from repro import Capability, Dim3
+from repro.sim.analysis import (
+    classify_resource,
+    format_utilization,
+    trace_to_csv,
+    utilization_report,
+    world_resources,
+)
+
+
+@pytest.fixture(scope="module")
+def exchanged():
+    cluster = repro.SimCluster.create(repro.summit_machine(2),
+                                      data_mode=False, trace=True)
+    world = repro.MpiWorld.create(cluster, 6)
+    dd = repro.DistributedDomain(world, size=Dim3(192, 192, 192), radius=2,
+                                 quantities=4).realize()
+    cluster.tracer.clear()
+    dd.exchange()
+    return cluster, world, dd
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name,cls", [
+        ("n0/nvlink:gpu0-gpu1/gpu0>gpu1", "nvlink"),
+        ("n0/xbus:cpu0-cpu1/cpu0>cpu1", "xbus"),
+        ("n1/nic/out", "nic"),
+        ("n0/g2/kern", "kernel_engine"),
+        ("n0/g2/d2h", "copy_engine"),
+        ("n0/g2/h2d", "copy_engine"),
+        ("n0/g2/stream0", "default_stream"),
+        ("n0/r1/mpiprog", "mpi_progress"),
+        ("n0/r1/cpu", "cpu_thread"),
+        ("weird", "other"),
+    ])
+    def test_patterns(self, name, cls):
+        assert classify_resource(name) == cls
+
+
+class TestUtilization:
+    def test_report_covers_expected_classes(self, exchanged):
+        cluster, world, _ = exchanged
+        rows = utilization_report(cluster, extra=world_resources(world))
+        classes = {r.resource_class for r in rows}
+        assert {"nvlink", "xbus", "nic", "kernel_engine", "copy_engine",
+                "mpi_progress", "cpu_thread"} <= classes
+
+    def test_active_resources_have_busy_time(self, exchanged):
+        cluster, world, _ = exchanged
+        rows = {r.resource_class: r
+                for r in utilization_report(cluster,
+                                            extra=world_resources(world))}
+        # A full-ladder 2-node exchange uses NVLink, NIC, kernels, CPU.
+        for cls in ("nvlink", "nic", "kernel_engine", "cpu_thread"):
+            assert rows[cls].busy_seconds > 0, cls
+
+    def test_utilizations_bounded(self, exchanged):
+        cluster, world, _ = exchanged
+        for r in utilization_report(cluster, extra=world_resources(world)):
+            assert 0.0 <= r.mean_utilization <= 1.0
+            # mean <= max up to float summation noise
+            assert r.mean_utilization <= r.max_utilization + 1e-12
+
+    def test_default_streams_idle_without_cuda_aware(self, exchanged):
+        cluster, world, _ = exchanged
+        rows = {r.resource_class: r for r in utilization_report(cluster)}
+        assert rows["default_stream"].busy_seconds == 0.0
+
+    def test_format_renders(self, exchanged):
+        cluster, _, _ = exchanged
+        text = format_utilization(utilization_report(cluster))
+        assert "nvlink" in text and "busiest" in text
+
+
+class TestCsvExport:
+    def test_roundtrip_parse(self, exchanged):
+        cluster, _, _ = exchanged
+        text = trace_to_csv(cluster.tracer)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(cluster.tracer.spans)
+        for row in rows[:20]:
+            assert float(row["end_s"]) >= float(row["start_s"])
+            assert float(row["duration_s"]) == pytest.approx(
+                float(row["end_s"]) - float(row["start_s"]), abs=1e-9)
+
+    def test_kinds_present(self, exchanged):
+        cluster, _, _ = exchanged
+        text = trace_to_csv(cluster.tracer)
+        assert "pack" in text and "mpi" in text

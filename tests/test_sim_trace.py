@@ -1,0 +1,104 @@
+"""Tests for timeline tracing and rendering."""
+
+import pytest
+
+from repro.sim import Engine, Task, Tracer
+from repro.sim.trace import render_gantt
+
+
+def traced(eng, tracer, name, dur, lane, kind, deps=()):
+    t = Task(eng, name=name, duration=dur, deps=deps, lane=lane, kind=kind,
+             tracer=tracer)
+    return t.submit()
+
+
+class TestTracer:
+    def test_records_spans(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "gpu0", "pack")
+        eng.run()
+        assert len(tr.spans) == 1
+        s = tr.spans[0]
+        assert (s.lane, s.kind, s.start, s.end) == ("gpu0", "pack", 0.0, 1.0)
+        assert s.duration == 1.0
+
+    def test_lanes_first_appearance_order(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "gpu1", "pack")
+        traced(eng, tr, "b", 2.0, "gpu0", "pack")
+        eng.run()
+        # Completion order: a (gpu1) then b (gpu0).
+        assert tr.lanes() == ["gpu1", "gpu0"]
+
+    def test_by_kind_and_totals(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "g", "pack")
+        traced(eng, tr, "b", 2.0, "g", "mpi")
+        traced(eng, tr, "c", 3.0, "h", "mpi")
+        eng.run()
+        assert set(tr.by_kind()) == {"pack", "mpi"}
+        assert tr.total_time_by_kind()["mpi"] == pytest.approx(5.0)
+
+    def test_makespan_and_overlap(self):
+        eng, tr = Engine(), Tracer()
+        a = traced(eng, tr, "a", 2.0, "g", "pack")
+        traced(eng, tr, "b", 2.0, "h", "pack")       # concurrent
+        traced(eng, tr, "c", 1.0, "g", "mpi", deps=[a])
+        eng.run()
+        assert tr.makespan() == pytest.approx(3.0)
+        assert tr.overlap_fraction() == pytest.approx(5.0 / 3.0)
+
+    def test_empty_tracer(self):
+        tr = Tracer()
+        assert tr.makespan() == 0.0
+        assert tr.overlap_fraction() == 0.0
+        assert tr.lanes() == []
+
+    def test_clear_and_disable(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "g", "pack")
+        eng.run()
+        tr.clear()
+        assert tr.spans == []
+        tr.enabled = False
+        traced(eng, tr, "b", 1.0, "g", "pack")
+        eng.run()
+        assert tr.spans == []
+
+    def test_rows_sorted_by_start(self):
+        eng, tr = Engine(), Tracer()
+        a = traced(eng, tr, "a", 1.0, "g", "pack")
+        traced(eng, tr, "b", 1.0, "h", "mpi", deps=[a])
+        eng.run()
+        rows = tr.to_rows()
+        assert rows[0][2] == "a" and rows[1][2] == "b"
+        assert rows[0][3] <= rows[1][3]
+
+
+class TestGantt:
+    def test_renders_all_lanes(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "n0/g0", "pack")
+        traced(eng, tr, "b", 2.0, "n0/g1", "peer")
+        eng.run()
+        out = render_gantt(tr, width=40)
+        assert "n0/g0" in out and "n0/g1" in out
+        assert "P" in out and "=" in out
+        assert "legend" in out
+
+    def test_empty(self):
+        assert "empty" in render_gantt(Tracer())
+
+    def test_lane_subset(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "keep", "pack")
+        traced(eng, tr, "b", 1.0, "drop", "pack")
+        eng.run()
+        out = render_gantt(tr, width=30, lanes=["keep"])
+        assert "keep" in out and "drop" not in out
+
+    def test_unknown_kind_char(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "g", "weird-kind")
+        eng.run()
+        assert "#" in render_gantt(tr, width=20)

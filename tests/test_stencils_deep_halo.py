@@ -1,0 +1,110 @@
+"""Tests for the deep-halo (k steps per exchange) Jacobi solver (§VI)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Dim3
+from repro.errors import ConfigurationError
+from repro.stencils import reference_jacobi_heat
+from repro.stencils.deep_halo import DeepHaloJacobi
+
+
+def make_dd(k, rs=1, nodes=1, rpn=6, size=(24, 18, 18), **kw):
+    cluster = repro.SimCluster.create(repro.summit_machine(nodes),
+                                      data_mode=kw.pop("data_mode", True))
+    world = repro.MpiWorld.create(cluster, rpn)
+    dd = repro.DistributedDomain(world, size=Dim3.of(size), radius=k * rs,
+                                 quantities=1, **kw)
+    return dd.realize()
+
+
+INIT = np.random.default_rng(11).random((18, 18, 24)).astype("f4")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_bitexact_vs_reference(self, k):
+        dd = make_dd(k)
+        dd.set_global(0, INIT)
+        solver = DeepHaloJacobi(dd, alpha=0.05, steps_per_exchange=k)
+        solver.run(6)
+        ref = reference_jacobi_heat(INIT, 0.05, 6, radius=1)
+        assert np.array_equal(solver.solution(), ref)
+
+    def test_matches_plain_solver(self):
+        from repro.stencils import JacobiHeat
+        dd_deep = make_dd(2)
+        dd_deep.set_global(0, INIT)
+        DeepHaloJacobi(dd_deep, alpha=0.1, steps_per_exchange=2).run(4)
+
+        dd_plain = make_dd(1)
+        dd_plain.set_global(0, INIT)
+        JacobiHeat(dd_plain, alpha=0.1).run(4)
+        assert np.array_equal(dd_deep.gather_global(0),
+                              dd_plain.gather_global(0))
+
+    def test_radius2_stencil(self):
+        dd = make_dd(2, rs=2, size=(30, 24, 24))
+        init = np.random.default_rng(1).random((24, 24, 30)).astype("f4")
+        dd.set_global(0, init)
+        DeepHaloJacobi(dd, alpha=0.02, stencil_radius=2,
+                       steps_per_exchange=2).run(4)
+        ref = reference_jacobi_heat(init, 0.02, 4, radius=2)
+        assert np.array_equal(dd.gather_global(0), ref)
+
+    def test_multinode(self):
+        dd = make_dd(2, nodes=2, size=(24, 18, 18))
+        dd.set_global(0, INIT)
+        DeepHaloJacobi(dd, alpha=0.05, steps_per_exchange=2).run(4)
+        ref = reference_jacobi_heat(INIT, 0.05, 4, radius=1)
+        assert np.array_equal(dd.gather_global(0), ref)
+
+
+class TestValidation:
+    def test_radius_mismatch_rejected(self):
+        dd = make_dd(2)  # radius 2
+        with pytest.raises(ConfigurationError):
+            DeepHaloJacobi(dd, steps_per_exchange=3)
+
+    def test_fixed_boundary_rejected(self):
+        dd = make_dd(2, boundary="fixed")
+        with pytest.raises(ConfigurationError):
+            DeepHaloJacobi(dd, steps_per_exchange=2)
+
+    def test_steps_must_be_multiple_of_k(self):
+        dd = make_dd(2)
+        solver = DeepHaloJacobi(dd, steps_per_exchange=2)
+        with pytest.raises(ConfigurationError):
+            solver.run(3)
+
+    def test_quantities_must_be_one(self):
+        cluster = repro.SimCluster.create(repro.summit_machine(1))
+        world = repro.MpiWorld.create(cluster, 6)
+        dd = repro.DistributedDomain(world, size=Dim3(24, 18, 18), radius=2,
+                                     quantities=2).realize()
+        with pytest.raises(ConfigurationError):
+            DeepHaloJacobi(dd, steps_per_exchange=2)
+
+
+class TestTradeoff:
+    def test_fewer_exchanges_more_bytes(self):
+        """The §VI trade-off, structurally: k=2 halves the number of
+        exchanges but each moves more than twice the bytes (the halo
+        volume grows super-linearly toward the corners)."""
+        dd1 = make_dd(1, data_mode=False, size=(96, 96, 96))
+        dd2 = make_dd(2, data_mode=False, size=(96, 96, 96))
+        assert dd2.bytes_per_exchange() > 2 * dd1.bytes_per_exchange() / 2
+        # Per stencil step: k=2 moves more bytes...
+        per_step_1 = dd1.bytes_per_exchange()
+        per_step_2 = dd2.bytes_per_exchange() / 2
+        assert per_step_2 > per_step_1
+        # ...but posts half the messages.
+        assert len(dd2.plan.channels) == len(dd1.plan.channels)
+
+    def test_steps_counter(self):
+        dd = make_dd(3, size=(30, 24, 24))
+        dd.set_global(0, np.zeros((24, 24, 30), "f4"))
+        solver = DeepHaloJacobi(dd, steps_per_exchange=3)
+        solver.run(6)
+        assert solver.steps_taken == 6
