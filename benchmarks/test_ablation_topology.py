@@ -13,7 +13,7 @@ payoff depends on what the node offers.  This ablation runs the
 import pytest
 
 import repro
-from repro import Capability, Dim3
+from repro import Dim3
 from repro.core.capabilities import LADDER
 from repro.core.methods import ExchangeMethod
 from repro.mpi import MpiWorld

@@ -9,7 +9,7 @@ spaces the figure annotates, and benchmarks decomposition cost at scale.
 import pytest
 
 from repro.dim3 import Dim3
-from repro.core.partition import HierarchicalPartition, prime_partition_dims
+from repro.core.partition import HierarchicalPartition
 from repro.bench.reporting import format_table
 
 from conftest import save_result

@@ -5,7 +5,6 @@ cluster) and the Fig. 10 bandwidth picture as an NVML-style matrix, and
 asserts the facts the paper's techniques rely on.
 """
 
-import numpy as np
 import pytest
 
 from repro.cuda import nvml

@@ -4,14 +4,19 @@
 Runs a traced exchange — two ranks, two GPUs each, 512^3-per-GPU-class
 subdomains with four SP quantities — and renders the overlapped pack /
 copy / MPI / unpack operations as an ASCII Gantt chart, plus per-kind time
-totals and the achieved overlap factor.
+totals, the achieved overlap factor, and the critical-path report stating
+which phases and resource classes bounded the round.  Also writes the
+same timeline as Chrome trace_event JSON for https://ui.perfetto.dev.
 
-Run:  python examples/exchange_timeline.py
+Run:  python examples/exchange_timeline.py [trace-out.json]
 """
+
+import sys
 
 from repro.bench.config import BenchConfig
 from repro.bench.harness import build_domain
 from repro.core.capabilities import Capability
+from repro.sim.analysis import trace_to_chrome_json
 from repro.sim.trace import render_gantt
 
 
@@ -22,7 +27,7 @@ def main() -> None:
     print(dd.describe(), "\n")
 
     cluster.tracer.clear()  # drop setup-phase spans
-    result = dd.exchange()
+    result = dd.exchange(profile=True)
 
     print(f"exchange: {result.elapsed * 1e3:.3f} ms, "
           f"{result.total_bytes / 1e6:.1f} MB\n")
@@ -34,6 +39,14 @@ def main() -> None:
         print(f"  {kind:<8} {t * 1e3:8.3f} ms")
     print(f"\noverlap factor (sum of spans / makespan): "
           f"{cluster.tracer.overlap_fraction():.2f}")
+
+    print()
+    print(result.profile.summary())
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "exchange_timeline.trace.json"
+    with open(out, "w") as f:
+        f.write(trace_to_chrome_json(cluster.tracer) + "\n")
+    print(f"\nwrote {out} (open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ from .core import (
     Capability,
     DistributedDomain,
     ExchangeMethod,
+    ExchangeProfile,
     ExchangeResult,
     HierarchicalPartition,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "Capabilities",
     "DistributedDomain",
     "ExchangeMethod",
+    "ExchangeProfile",
     "ExchangeResult",
     "HierarchicalPartition",
     "ReproError",

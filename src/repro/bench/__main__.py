@@ -7,9 +7,21 @@ Usage::
     python -m repro.bench fig12b --nodes 1 2 4 8
     python -m repro.bench all --out results/
 
-Each experiment prints its paper-style table (and optionally writes it to
-``--out``).  The pytest modules under ``benchmarks/`` run the same code and
-additionally *assert* the paper's claims; this CLI is the quick-look tool.
+Passing an experiment *configuration string* instead of a figure name
+profiles one exchange configuration end to end::
+
+    python -m repro.bench 2n/6r/6g/512 --profile --json out.json
+
+which prints the timing/critical-path/utilization report and writes (a)
+the diffable bench JSON (``--json`` without a path picks
+``BENCH_<config>.json``) and (b) a Chrome ``trace_event`` timeline next to
+it (``<json stem>.trace.json``, or ``--trace PATH``) that opens directly
+in https://ui.perfetto.dev.
+
+Each figure experiment prints its paper-style table (and optionally writes
+it to ``--out``).  The pytest modules under ``benchmarks/`` run the same
+code and additionally *assert* the paper's claims; this CLI is the
+quick-look tool.
 """
 
 from __future__ import annotations
@@ -19,11 +31,25 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from ..core.capabilities import LADDER
 from ..dim3 import Dim3
+from ..errors import ConfigurationError
+from ..sim.analysis import (
+    format_utilization,
+    trace_to_chrome_json,
+    utilization_report,
+    world_resources,
+)
 from ..topology import summit_machine, summit_node
-from .config import BenchConfig
-from .harness import build_domain
-from .reporting import format_series, format_table
+from .config import BenchConfig, parse_config
+from .harness import build_domain, profile_exchange_config
+from .reporting import (
+    bench_filename,
+    bench_record,
+    format_series,
+    format_table,
+    write_bench_json,
+)
 from .sweeps import (
     capability_ladder,
     placement_comparison,
@@ -136,24 +162,105 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+def _resolve_json_path(args, config_label: str) -> Path:
+    if args.json != "auto":
+        p = Path(args.json)
+        if p.is_dir():
+            return p / bench_filename(config_label)
+        return p
+    base = args.out if args.out is not None else Path(".")
+    return base / bench_filename(config_label)
+
+
+def _run_config(args) -> int:
+    """Profile one configuration string (``2n/6r/6g/512[/ca]``)."""
+    config = parse_config(args.experiment)
+    caps = LADDER[args.rung]
+    run = profile_exchange_config(config, caps, reps=args.reps,
+                                  warmup=args.warmup,
+                                  profile=args.profile)
+    timing, final = run.timing, run.final
+
+    print(f"===== {config.label()} ({args.rung}) =====")
+    print(f"exchange: mean {timing.mean * 1e3:.3f} ms, "
+          f"best {timing.best * 1e3:.3f} ms over {len(timing.results)} reps, "
+          f"imbalance {final.imbalance:.3f}")
+    print(final.summary())
+    if run.profile is not None:
+        print()
+        print(run.profile.summary())
+    print()
+    print(format_utilization(
+        utilization_report(run.cluster,
+                           extra=world_resources(run.dd.world))))
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    if args.json is not None:
+        json_path = _resolve_json_path(args, config.label())
+        write_bench_json(json_path, bench_record(run))
+        print(f"\nwrote {json_path}")
+    if args.profile:
+        if args.trace is not None:
+            trace_path = Path(args.trace)
+        elif args.json is not None:
+            json_path = _resolve_json_path(args, config.label())
+            trace_path = json_path.parent / (json_path.stem + ".trace.json")
+        else:
+            base = args.out if args.out is not None else Path(".")
+            trace_path = base / (
+                bench_filename(config.label())[:-len(".json")]
+                + ".trace.json")
+        trace_path.write_text(trace_to_chrome_json(run.cluster.tracer) + "\n")
+        print(f"wrote {trace_path} (open at https://ui.perfetto.dev)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate the paper's evaluation artifacts.")
+        description="Regenerate the paper's evaluation artifacts, or "
+                    "profile one configuration string "
+                    "(e.g. 2n/6r/6g/512/ca).")
     parser.add_argument("experiment",
-                        choices=[*EXPERIMENTS, "all", "list"],
-                        help="which artifact to regenerate")
+                        help="a figure name (see 'list'), 'all', or a "
+                             "configuration string like 2n/6r/6g/512[/ca]")
     parser.add_argument("--nodes", type=int, nargs="+",
                         default=[1, 2, 4, 8],
                         help="node counts for the scaling sweeps")
     parser.add_argument("--out", type=Path, default=None,
-                        help="directory to also write <experiment>.txt into")
+                        help="directory to also write outputs into")
+    parser.add_argument("--profile", action="store_true",
+                        help="config runs: critical-path report + Perfetto "
+                             "trace")
+    parser.add_argument("--json", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="config runs: write the bench JSON (default "
+                             "name BENCH_<config>.json)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="config runs: Perfetto trace output path")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="config runs: measured repetitions")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="config runs: warm-up rounds before measuring")
+    parser.add_argument("--rung", choices=list(LADDER), default="+kernel",
+                        help="config runs: capability rung (default "
+                             "+kernel = everything)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    if args.experiment not in EXPERIMENTS and args.experiment != "all":
+        try:
+            parse_config(args.experiment)
+        except ConfigurationError:
+            parser.error(
+                f"unknown experiment {args.experiment!r} (not a figure "
+                f"name, 'all', or a Xn/Xr/Xg/NNNN[/ca] config string)")
+        return _run_config(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

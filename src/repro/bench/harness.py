@@ -17,7 +17,7 @@ from typing import Optional, Tuple
 
 from ..core.capabilities import Capability
 from ..core.distributed import DistributedDomain
-from ..core.exchange import ExchangeResult
+from ..core.exchange import ExchangeProfile, ExchangeResult
 from ..mpi.world import MpiWorld
 from ..radius import Radius
 from ..runtime.cluster import SimCluster
@@ -97,3 +97,52 @@ def run_exchange_config(config: BenchConfig,
     results = tuple(dd.exchange() for _ in range(reps))
     return ExchangeTiming(config=config, capabilities=capabilities,
                           results=results)
+
+
+@dataclass(frozen=True)
+class ProfiledRun:
+    """A measured configuration plus its observability artifacts.
+
+    Produced by :func:`profile_exchange_config`; feeds the bench JSON
+    (:func:`repro.bench.reporting.bench_record`) and the Perfetto trace
+    (:func:`repro.sim.analysis.trace_to_chrome_json` on ``cluster.tracer``).
+    """
+
+    timing: ExchangeTiming
+    dd: DistributedDomain
+    cluster: SimCluster
+    profile: Optional[ExchangeProfile]   #: from the final measured rep
+
+    @property
+    def final(self) -> ExchangeResult:
+        return self.timing.results[-1]
+
+
+def profile_exchange_config(config: BenchConfig,
+                            capabilities: Capability = Capability.all(),
+                            reps: int = 2,
+                            warmup: int = 1,
+                            profile: bool = True,
+                            **build_kwargs) -> ProfiledRun:
+    """Measure one configuration with the full observability surface.
+
+    Like :func:`run_exchange_config` but keeps the cluster, records a
+    timeline (the tracer is cleared after warm-up so the trace holds only
+    measured rounds), and — when ``profile`` is set — attaches the
+    critical-path :class:`~repro.core.exchange.ExchangeProfile` to the
+    final repetition.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    build_kwargs.setdefault("trace", True)
+    dd, cluster = build_domain(config, capabilities, **build_kwargs)
+    for _ in range(warmup):
+        dd.exchange()
+    if cluster.tracer is not None:
+        cluster.tracer.clear()   # drop setup + warm-up spans
+    results = [dd.exchange() for _ in range(reps - 1)]
+    results.append(dd.exchange(profile=profile))
+    timing = ExchangeTiming(config=config, capabilities=capabilities,
+                            results=tuple(results))
+    return ProfiledRun(timing=timing, dd=dd, cluster=cluster,
+                       profile=results[-1].profile)

@@ -1,8 +1,23 @@
-"""Text-table rendering for benchmark results."""
+"""Rendering of benchmark results: text tables and machine-readable JSON.
+
+The JSON side (:func:`bench_record` / :func:`write_bench_json`) exists so
+the performance trajectory of this repository is *diffable*: every
+``BENCH_<config>.json`` carries the elapsed time, load imbalance,
+critical-path breakdown, and per-resource-class utilization of one
+configuration, in a stable schema.
+"""
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence, Tuple
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Mapping, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .harness import ProfiledRun
+
+#: bump when the JSON layout changes incompatibly
+BENCH_SCHEMA = "repro-bench/1"
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -46,3 +61,51 @@ def format_series(results: Mapping[Tuple, "object"], row_key_name: str,
             row.append(value(t) if t is not None else "-")
         table_rows.append(row)
     return format_table(headers, table_rows, title=title)
+
+
+# -- machine-readable bench output -----------------------------------------------
+
+def bench_filename(config_label: str) -> str:
+    """``BENCH_<config>.json`` with the config's slashes flattened."""
+    return f"BENCH_{config_label.replace('/', '_')}.json"
+
+
+def bench_record(run: "ProfiledRun") -> dict:
+    """The diffable JSON record for one profiled configuration."""
+    from ..sim.analysis import utilization_report, world_resources
+
+    timing = run.timing
+    final = run.final
+    rows = utilization_report(run.cluster,
+                              extra=world_resources(run.dd.world))
+    record = {
+        "schema": BENCH_SCHEMA,
+        "config": timing.config.label(),
+        "capabilities": str(timing.capabilities),
+        "reps": len(timing.results),
+        "elapsed_s": {
+            "mean": timing.mean,
+            "best": timing.best,
+            "per_rep": [r.elapsed for r in timing.results],
+        },
+        "imbalance": final.imbalance,
+        "total_bytes": final.total_bytes,
+        "methods": {
+            m.value: {
+                "count": final.method_counts.get(m, 0),
+                "bytes": final.method_bytes.get(m, 0),
+            }
+            for m in final.method_counts
+        },
+        "utilization": [r.to_dict() for r in rows],
+    }
+    if run.profile is not None:
+        record["critical_path"] = run.profile.to_dict()
+    return record
+
+
+def write_bench_json(path: Union[str, Path], record: dict) -> Path:
+    """Write a bench record (pretty-printed, trailing newline) to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

@@ -21,6 +21,7 @@ from .placement import (
 )
 from .methods import ExchangeMethod, select_method
 from .distributed import DistributedDomain, ExchangeResult
+from .exchange import ExchangeProfile
 from .verify import VerificationError, verify_halos, verify_solution
 from .report import partition_narrative, placement_table, slice_map
 
@@ -44,6 +45,7 @@ __all__ = [
     "select_method",
     "DistributedDomain",
     "ExchangeResult",
+    "ExchangeProfile",
     "VerificationError",
     "verify_halos",
     "verify_solution",

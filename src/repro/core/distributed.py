@@ -224,13 +224,17 @@ class DistributedDomain:
         return [s for s in self.subdomains if s.rank is rank]
 
     # -- exchange --------------------------------------------------------------------
-    def exchange(self, overlap_launcher: Optional[OverlapLauncher] = None
-                 ) -> ExchangeResult:
-        """Run one barrier-timed halo exchange."""
+    def exchange(self, overlap_launcher: Optional[OverlapLauncher] = None,
+                 profile: bool = False) -> ExchangeResult:
+        """Run one barrier-timed halo exchange.
+
+        ``profile=True`` attaches an :class:`~repro.core.exchange
+        .ExchangeProfile` (critical-path breakdown) to the result.
+        """
         if not self._realized:
             raise ConfigurationError("call realize() before exchange()")
         assert self.plan is not None
-        return self.plan.run_exchange(overlap_launcher)
+        return self.plan.run_exchange(overlap_launcher, profile=profile)
 
     def exchange_n(self, reps: int) -> List[ExchangeResult]:
         """Run ``reps`` consecutive exchanges (the paper averages 30)."""

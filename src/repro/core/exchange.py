@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Callable, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..errors import DeadlockError
 from ..sim import Task
+from ..sim.profile import CriticalPathReport, critical_path_report
 from ..sim.tasks import Dep
 from .channels import Channel, RoundOps
 from .halo import exchange_directions
@@ -37,6 +39,64 @@ OverlapLauncher = Callable[["Subdomain"], Sequence[Dep]]
 
 
 @dataclass(frozen=True)
+class ExchangeProfile:
+    """Where one exchange round's time went (see :mod:`repro.sim.profile`).
+
+    Produced by ``run_exchange(profile=True)``: the completed task DAG is
+    walked back from the *slowest rank's* completion join, splitting the
+    elapsed window into per-phase (pack / wire / unpack / stage / queue)
+    and per-resource-class (nvlink / nic / copy_engine / mpi_progress / ...)
+    service and queueing time.
+    """
+
+    critical_rank: int            #: rank whose join ended the round
+    path: CriticalPathReport      #: attribution along its dependency chain
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        return self.path.phase_seconds
+
+    @property
+    def service_by_class(self) -> Dict[str, float]:
+        return self.path.service_by_class
+
+    @property
+    def queue_by_class(self) -> Dict[str, float]:
+        return self.path.queue_by_class
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the elapsed window the critical path attributes."""
+        return self.path.coverage
+
+    def summary(self) -> str:
+        return (f"critical rank: r{self.critical_rank}\n"
+                + self.path.summary())
+
+    def to_dict(self) -> dict:
+        d = self.path.to_dict()
+        d["critical_rank"] = self.critical_rank
+        return d
+
+
+def _round_times(barrier_completion: Optional[float],
+                 join_completions: Mapping[int, Optional[float]]
+                 ) -> Tuple[float, Dict[int, float], float]:
+    """Resolve (start, per-rank finish, end) from raw completion stamps.
+
+    ``None`` means "never completed" (the deadlock check fires before this
+    is reachable); a stamp of exactly ``0.0`` is a legitimate completion at
+    virtual time zero and must be used verbatim — truthiness tests here
+    previously collapsed such rounds to ``start == end``.
+    """
+    t0 = 0.0 if barrier_completion is None else barrier_completion
+    finishes = {i: (t0 if c is None else c)
+                for i, c in join_completions.items()}
+    end = max(finishes.values(), default=t0)
+    return t0, finishes, end
+
+
+@dataclass(frozen=True)
 class ExchangeResult:
     """Timing and traffic accounting for one exchange round."""
 
@@ -45,6 +105,7 @@ class ExchangeResult:
     rank_finish: Dict[int, float]     #: rank index → completion time
     method_counts: Dict[ExchangeMethod, int]
     method_bytes: Dict[ExchangeMethod, int]
+    profile: Optional[ExchangeProfile] = None  #: set by profile=True runs
 
     @property
     def elapsed(self) -> float:
@@ -64,6 +125,8 @@ class ExchangeResult:
         and partition quality on asymmetric domains.
         """
         times = [t - self.start for t in self.rank_finish.values()]
+        if not times:
+            return 1.0  # degenerate: no ranks reported a finish
         mean = sum(times) / len(times)
         if mean <= 0:
             return 1.0
@@ -140,10 +203,27 @@ class ExchangePlan:
         self._setup_done = True
 
     # -- one measured round ------------------------------------------------------------
-    def run_exchange(self, overlap_launcher: Optional[OverlapLauncher] = None
-                     ) -> ExchangeResult:
-        """Execute one barrier-timed halo exchange to completion."""
+    def run_exchange(self, overlap_launcher: Optional[OverlapLauncher] = None,
+                     profile: bool = False) -> ExchangeResult:
+        """Execute one barrier-timed halo exchange to completion.
+
+        With ``profile=True`` the round retains its task DAG and the result
+        carries an :class:`ExchangeProfile`: the critical path from the
+        slowest rank's completion join, attributed per phase and resource
+        class (service vs queueing time).
+        """
         assert self._setup_done, "call setup() before run_exchange()"
+        engine = self.dd.cluster.engine
+        retain_before = engine.retain_dag
+        if profile:
+            engine.retain_dag = True
+        try:
+            return self._run_exchange(overlap_launcher, profile)
+        finally:
+            engine.retain_dag = retain_before
+
+    def _run_exchange(self, overlap_launcher: Optional[OverlapLauncher],
+                      profile: bool) -> ExchangeResult:
         dd = self.dd
         world = dd.world
         barrier_join = world.barrier()
@@ -175,8 +255,12 @@ class ExchangePlan:
 
         joins: Dict[int, Task] = {}
         for rank in world.ranks:
+            # Every rank entered the exchange after the barrier, so its
+            # join cannot finish before it — explicit for ranks with no
+            # channel work, implicit (via CPU program order) otherwise.
             j = Task(dd.cluster.engine, name=f"xdone/r{rank.index}",
-                     duration=0.0, deps=rank_deps.get(rank.index, ()),
+                     duration=0.0,
+                     deps=(barrier_join, *rank_deps.get(rank.index, ())),
                      lane=rank.lane, kind="sync", tracer=None)
             j.submit()
             # exchange() blocks: the rank's next CPU op waits for its join.
@@ -191,12 +275,21 @@ class ExchangePlan:
                 f"exchange never completed on ranks {stuck[:8]}; "
                 f"unmatched MPI ops: {um[:8]}")
 
-        t0 = barrier_join.completion_time or 0.0
-        finishes = {i: (j.completion_time or t0) for i, j in joins.items()}
+        t0, finishes, end = _round_times(
+            barrier_join.completion_time,
+            {i: j.completion_time for i, j in joins.items()})
+        prof: Optional[ExchangeProfile] = None
+        if profile:
+            slowest = max(finishes, key=finishes.get)
+            prof = ExchangeProfile(
+                critical_rank=slowest,
+                path=critical_path_report(joins[slowest], t_start=t0,
+                                          t_end=end))
         return ExchangeResult(
             start=t0,
-            end=max(finishes.values()),
+            end=end,
             rank_finish=finishes,
             method_counts=self.method_counts(),
             method_bytes=self.method_bytes(),
+            profile=prof,
         )

@@ -49,14 +49,17 @@ class Request:
             self._callbacks.append(fn)
 
     def _complete(self, engine: Engine, status: Optional[Status] = None,
-                  data: Any = None) -> None:
+                  data: Any = None, source: Any = None) -> None:
+        """Complete the request; ``source`` is the simulated task (wire
+        transfer, eager delivery, ...) whose finish completed it — recorded
+        on the signal so critical-path walks can continue through it."""
         if self.completed:
             raise MpiError(f"request completed twice: {self.label}")
         self.completed = True
         self.status = status
         if data is not None:
             self.data = data
-        self.signal.fire(engine)
+        self.signal.fire(engine, source=source)
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
             fn(self)

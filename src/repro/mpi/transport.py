@@ -224,18 +224,18 @@ class Transport:
         return t
 
     def _finish(self, s: _SendEntry, r: _RecvEntry,
-                complete_send: bool) -> None:
+                complete_send: bool, source: Optional[Task] = None) -> None:
         eng = self.world.cluster.engine
         status = Status(source=s.rank.index, tag=s.tag, count_bytes=s.nbytes)
         if complete_send:
-            s.request._complete(eng, status)
+            s.request._complete(eng, status, source=source)
         data = None
         if isinstance(r.payload, (DeviceBuffer, PinnedBuffer)):
             if isinstance(s.payload, (DeviceBuffer, PinnedBuffer)):
                 pass  # bytes were moved by the wire task's action
         else:
             data = s.payload
-        r.request._complete(eng, status, data=data)
+        r.request._complete(eng, status, data=data, source=source)
         self.messages_delivered += 1
         self.bytes_delivered += s.nbytes
 
@@ -282,8 +282,8 @@ class Transport:
         inject = self._make_task(
             f"mpi-eager:{s.request.label}", dur, res, [s.issue],
             None, f"{s.rank.lane}/mpi", s.nbytes)
-        inject.on_complete(lambda _t: s.request._complete(
-            eng, Status(s.rank.index, s.tag, s.nbytes)))
+        inject.on_complete(lambda t: s.request._complete(
+            eng, Status(s.rank.index, s.tag, s.nbytes), source=t))
         s.inject = inject
 
     def _eager_deliver(self, s: _SendEntry, r: _RecvEntry) -> None:
@@ -297,7 +297,8 @@ class Transport:
             cost.mpi_message_overhead + s.nbytes / cost.self_copy_bandwidth,
             [r.rank.progress], [s.inject, r.issue],
             self._copy_action(s, r), f"{r.rank.lane}/mpi", s.nbytes)
-        deliver.on_complete(lambda _t: self._finish(s, r, complete_send=False))
+        deliver.on_complete(
+            lambda t: self._finish(s, r, complete_send=False, source=t))
 
     def _rendezvous(self, s: _SendEntry, r: _RecvEntry) -> None:
         """Large or device message: wire transfer gated on both sides.
@@ -336,4 +337,5 @@ class Transport:
         wire = self._make_task(
             f"mpi-rndv:{s.request.label}", dur, res, deps,
             self._copy_action(s, r), f"{s.rank.lane}/mpi", s.nbytes)
-        wire.on_complete(lambda _t: self._finish(s, r, complete_send=True))
+        wire.on_complete(
+            lambda t: self._finish(s, r, complete_send=True, source=t))

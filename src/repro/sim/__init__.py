@@ -21,6 +21,12 @@ from .engine import Engine
 from .resources import Resource, AcquireRequest
 from .tasks import Task, Signal
 from .trace import Tracer, Span
+from .profile import (
+    CriticalPathReport,
+    PathSegment,
+    critical_path,
+    critical_path_report,
+)
 
 __all__ = [
     "Engine",
@@ -30,4 +36,8 @@ __all__ = [
     "Signal",
     "Tracer",
     "Span",
+    "CriticalPathReport",
+    "PathSegment",
+    "critical_path",
+    "critical_path_report",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -54,6 +55,20 @@ class UtilizationRow:
     mean_utilization: float    #: average busy fraction over the window
     max_utilization: float
     busiest: str               #: name of the single busiest resource
+    wait_seconds: float = 0.0  #: summed queueing time charged to the class
+    wait_count: int = 0        #: number of requests that queued for it
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.resource_class,
+            "count": self.count,
+            "busy_s": self.busy_seconds,
+            "mean_utilization": self.mean_utilization,
+            "max_utilization": self.max_utilization,
+            "busiest": self.busiest,
+            "wait_s": self.wait_seconds,
+            "wait_count": self.wait_count,
+        }
 
 
 def _iter_cluster_resources(cluster: "SimCluster") -> List[Resource]:
@@ -94,7 +109,9 @@ def utilization_report(cluster: "SimCluster",
         mean_u = sum(u for u, _ in utils) / len(utils)
         max_u, busiest = max(utils, key=lambda ur: ur[0])
         rows.append(UtilizationRow(cls, len(rs), busy, mean_u, max_u,
-                                   busiest.name))
+                                   busiest.name,
+                                   wait_seconds=sum(r.wait_time for r in rs),
+                                   wait_count=sum(r.wait_count for r in rs)))
     return rows
 
 
@@ -107,15 +124,74 @@ def world_resources(world) -> List[Resource]:
 
 
 def format_utilization(rows: List[UtilizationRow]) -> str:
-    lines = [f"{'class':<16} {'n':>4} {'busy(ms)':>10} {'mean':>7} "
-             f"{'max':>7}  busiest",
-             "-" * 70]
+    lines = [f"{'class':<16} {'n':>4} {'busy(ms)':>10} {'wait(ms)':>10} "
+             f"{'mean':>7} {'max':>7}  busiest",
+             "-" * 80]
     for r in rows:
         lines.append(
             f"{r.resource_class:<16} {r.count:>4} "
-            f"{r.busy_seconds * 1e3:>10.3f} {r.mean_utilization:>7.1%} "
+            f"{r.busy_seconds * 1e3:>10.3f} {r.wait_seconds * 1e3:>10.3f} "
+            f"{r.mean_utilization:>7.1%} "
             f"{r.max_utilization:>7.1%}  {r.busiest}")
     return "\n".join(lines)
+
+
+def _split_lane(lane: str) -> Tuple[str, str]:
+    """Lane name → (process, thread) for the Chrome trace viewer.
+
+    Lanes are hierarchical (``n0/r1/cpu``, ``n0/g3``): the leading node
+    component becomes the process so Perfetto groups each node's GPUs,
+    CPUs and progress engines together; the remainder is the thread.
+    Single-component lanes (``world``) become their own process.
+    """
+    head, sep, rest = lane.partition("/")
+    if not sep:
+        return lane, lane
+    return head, rest
+
+
+def trace_to_chrome_json(tracer: Tracer, indent: Optional[int] = None) -> str:
+    """Serialize spans as Chrome ``trace_event`` JSON (Perfetto-loadable).
+
+    Open the output at https://ui.perfetto.dev (or ``chrome://tracing``):
+    every lane becomes one named track, grouped per node.  Each span is a
+    complete event (``"ph": "X"``) with microsecond timestamps and ``args``
+    carrying the operation kind, payload bytes, and resource queue-wait so
+    the per-span detail pane answers "why did this start late".
+    """
+    pids: Dict[str, int] = {}
+    tids: Dict[str, Tuple[int, int]] = {}
+    events: List[dict] = []
+    for span in sorted(tracer.spans, key=lambda s: (s.start, s.lane)):
+        if span.lane not in tids:
+            proc, thread = _split_lane(span.lane)
+            if proc not in pids:
+                pids[proc] = len(pids) + 1
+                events.append({"ph": "M", "name": "process_name",
+                               "pid": pids[proc], "tid": 0,
+                               "args": {"name": proc}})
+            tid = len(tids) + 1
+            tids[span.lane] = (pids[proc], tid)
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": pids[proc], "tid": tid,
+                           "args": {"name": thread}})
+        pid, tid = tids[span.lane]
+        events.append({
+            "name": span.label,
+            "cat": span.kind,
+            "ph": "X",
+            "ts": span.start * 1e6,           # trace_event wants microseconds
+            "dur": max(span.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": {
+                "kind": span.kind,
+                "bytes": span.bytes,
+                "queue_wait_us": span.queue_wait * 1e6,
+            },
+        })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                      indent=indent)
 
 
 def trace_to_csv(tracer: Tracer) -> str:

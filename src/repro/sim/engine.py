@@ -32,7 +32,8 @@ class Engine:
     [1.0, 2.0]
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_events_processed")
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_events_processed",
+                 "retain_dag")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -40,6 +41,11 @@ class Engine:
         self._seq: int = 0
         self._running: bool = False
         self._events_processed: int = 0
+        #: when True, tasks keep references to their dependencies so the
+        #: completed DAG can be walked afterwards (critical-path profiling).
+        #: Off by default: retaining edges pins every predecessor in memory,
+        #: which long sweeps (many exchange rounds) cannot afford.
+        self.retain_dag: bool = False
 
     # -- clock ----------------------------------------------------------------
     @property

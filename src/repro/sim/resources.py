@@ -25,7 +25,7 @@ deterministic.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from .engine import Engine
@@ -51,7 +51,8 @@ class Resource:
     """
 
     __slots__ = ("engine", "name", "capacity", "bandwidth", "_in_use",
-                 "_waiters", "_id", "busy_time", "_last_busy_start")
+                 "_waiters", "_id", "busy_time", "_last_busy_start",
+                 "wait_time", "wait_count")
 
     def __init__(self, engine: Engine, name: str, capacity: int = 1,
                  bandwidth: Optional[float] = None) -> None:
@@ -67,6 +68,10 @@ class Resource:
         # Utilization accounting (any slot held counts as busy).
         self.busy_time = 0.0
         self._last_busy_start: Optional[float] = None
+        # Queueing accounting: total seconds granted requests spent waiting
+        # while this resource had no free slot, and how many requests waited.
+        self.wait_time = 0.0
+        self.wait_count = 0
 
     # -- state ------------------------------------------------------------
     @property
@@ -118,7 +123,8 @@ class AcquireRequest:
     :meth:`release` exactly once.
     """
 
-    __slots__ = ("resources", "on_grant", "seq", "granted", "released", "label")
+    __slots__ = ("resources", "on_grant", "seq", "granted", "released", "label",
+                 "request_time", "grant_time", "blocked_on")
 
     def __init__(self, resources: Sequence[Resource],
                  on_grant: Callable[[], None], label: str = "") -> None:
@@ -128,12 +134,34 @@ class AcquireRequest:
         self.granted = False
         self.released = False
         self.label = label
+        # Queue-wait accounting, stamped by acquire()/_grant().
+        self.request_time: Optional[float] = None
+        self.grant_time: Optional[float] = None
+        #: resources with no free slot at request time (the queueing culprits)
+        self.blocked_on: Tuple[Resource, ...] = ()
+
+    @property
+    def wait(self) -> float:
+        """Seconds this request spent queued before its grant (0 so far
+        if still waiting)."""
+        if self.request_time is None or self.grant_time is None:
+            return 0.0
+        return self.grant_time - self.request_time
 
     def _grantable(self) -> bool:
         return all(r.free_slots > 0 for r in self.resources)
 
     def _grant(self, engine: Engine) -> None:
         self.granted = True
+        self.grant_time = engine.now
+        if self.request_time is not None:
+            waited = self.grant_time - self.request_time
+            if waited > 0.0:
+                # Attribute the wait to the resources that were full when
+                # the request arrived (every one of them gated the grant).
+                for r in self.blocked_on or self.resources:
+                    r.wait_time += waited
+                    r.wait_count += 1
         for r in self.resources:
             r._occupy()
         # Defer the callback through the event queue so grants triggered by a
@@ -167,9 +195,11 @@ def acquire(engine: Engine, resources: Sequence[Resource],
     for r in resources:
         seen.setdefault(r._id, r)
     req = AcquireRequest(tuple(seen.values()), on_grant, label)
+    req.request_time = engine.now
     if req._grantable():
         req._grant(engine)
     else:
+        req.blocked_on = tuple(r for r in req.resources if r.free_slots <= 0)
         for r in req.resources:
             r._waiters.append(req)
     return req

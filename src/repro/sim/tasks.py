@@ -36,19 +36,25 @@ class Signal:
     completes the signal at the current virtual time.
     """
 
-    __slots__ = ("name", "completed", "completion_time", "_dependents")
+    __slots__ = ("name", "completed", "completion_time", "_dependents",
+                 "source")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.completed = False
         self.completion_time: Optional[float] = None
         self._dependents: List["Task"] = []
+        #: the task whose completion fired this signal, when known — lets
+        #: critical-path walks continue through request/condition boundaries
+        self.source: Optional["Task"] = None
 
-    def fire(self, engine: Engine) -> None:
+    def fire(self, engine: Engine, source: Optional["Task"] = None) -> None:
         if self.completed:
             raise SimulationError(f"signal fired twice: {self.name}")
         self.completed = True
         self.completion_time = engine.now
+        if source is not None:
+            self.source = source
         dependents, self._dependents = self._dependents, []
         for t in dependents:
             t._dep_completed(engine)
@@ -90,7 +96,8 @@ class Task:
     __slots__ = ("engine", "name", "duration", "resources", "action",
                  "lane", "kind", "bytes", "tracer", "_id", "_remaining_deps",
                  "_dependents", "_callbacks", "submitted", "started",
-                 "completed", "start_time", "completion_time", "_request")
+                 "completed", "start_time", "completion_time", "_request",
+                 "_deps", "eligible_time")
 
     def __init__(self, engine: Engine, name: str, duration: float,
                  resources: Sequence[Resource] = (),
@@ -118,8 +125,10 @@ class Task:
         self.completed = False
         self.start_time: Optional[float] = None
         self.completion_time: Optional[float] = None
+        self.eligible_time: Optional[float] = None
         self._request = None
         self._remaining_deps = 0
+        self._deps: List[Dep] = []
         for d in deps:
             self.add_dep(d)
 
@@ -130,6 +139,10 @@ class Task:
             raise SimulationError(f"add_dep after submit: {self.name}")
         if dep is None:
             return
+        if self.engine.retain_dag:
+            # Already-completed deps are kept too: the latest-finishing dep
+            # determines eligibility regardless of when it was attached.
+            self._deps.append(dep)
         if dep.completed:
             return
         dep._dependents.append(self)
@@ -160,8 +173,31 @@ class Task:
             self._acquire()
 
     def _acquire(self) -> None:
+        self.eligible_time = self.engine.now
         self._request = acquire(self.engine, self.resources, self._start,
                                 label=self.name)
+
+    # -- profiling views ------------------------------------------------------
+    @property
+    def deps(self) -> Sequence[Dep]:
+        """The recorded dependencies (empty unless ``engine.retain_dag``)."""
+        return tuple(self._deps)
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent between eligibility (all deps done) and start —
+        time queued for resources."""
+        if self.start_time is None or self.eligible_time is None:
+            return 0.0
+        return self.start_time - self.eligible_time
+
+    @property
+    def blocked_resources(self) -> Sequence[Resource]:
+        """The resources that were full when this task requested its set
+        (empty if it never queued)."""
+        if self._request is None:
+            return ()
+        return self._request.blocked_on
 
     def _start(self) -> None:
         self.started = True
@@ -178,7 +214,7 @@ class Task:
         if self.tracer is not None and self.lane:
             self.tracer.record(self.lane, self.kind or "op", self.name,
                                self.start_time or 0.0, self.completion_time,
-                               self.bytes)
+                               self.bytes, queue_wait=self.queue_wait)
         for cb in self._callbacks:
             cb(self)
         self._callbacks = []

@@ -23,6 +23,7 @@ class Span:
     start: float    #: virtual start time (s)
     end: float      #: virtual end time (s)
     bytes: int = 0  #: payload size for transfers, 0 otherwise
+    queue_wait: float = 0.0  #: seconds queued for resources before start
 
     @property
     def duration(self) -> float:
@@ -37,9 +38,11 @@ class Tracer:
         self.enabled = True
 
     def record(self, lane: str, kind: str, label: str,
-               start: float, end: float, nbytes: int = 0) -> None:
+               start: float, end: float, nbytes: int = 0,
+               queue_wait: float = 0.0) -> None:
         if self.enabled:
-            self.spans.append(Span(lane, kind, label, start, end, nbytes))
+            self.spans.append(Span(lane, kind, label, start, end, nbytes,
+                                   queue_wait))
 
     def clear(self) -> None:
         self.spans.clear()
@@ -86,7 +89,8 @@ class Tracer:
         return sum(s.duration for s in self.spans) / ms
 
     def to_rows(self) -> List[Tuple[str, str, str, float, float, int]]:
-        """Rows of ``(lane, kind, label, start, end, bytes)`` sorted by start."""
+        """Rows of ``(lane, kind, label, start, end, bytes)`` sorted by
+        ``(start, lane)``."""
         return [(s.lane, s.kind, s.label, s.start, s.end, s.bytes)
                 for s in sorted(self.spans, key=lambda s: (s.start, s.lane))]
 
@@ -120,7 +124,11 @@ def render_gantt(tracer: Tracer, width: int = 100,
         t1 = t0 + 1e-9
     if lanes is None:
         lanes = tracer.lanes()
-    label_w = max(len(l) for l in lanes) + 1
+    if not lanes:
+        # An explicit empty lane list (or a filter matching nothing) is a
+        # valid degenerate chart, not an error.
+        return "(empty timeline)"
+    label_w = max(len(lane) for lane in lanes) + 1
     scale = width / (t1 - t0)
     lines = []
     for lane in lanes:

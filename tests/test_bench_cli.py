@@ -1,5 +1,7 @@
 """Tests for the `python -m repro.bench` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
@@ -45,3 +47,57 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig03", "fig04", "fig09", "table1", "fig11",
             "fig12a", "fig12b", "fig12c", "fig13"}
+
+
+class TestConfigRuns:
+    def test_config_string_runs(self, capsys):
+        assert main(["1n/2r/2g/128", "--reps", "1", "--warmup", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "1n/2r/2g/128" in out and "exchange: mean" in out
+
+    def test_profile_and_json_artifacts(self, tmp_path, capsys):
+        json_path = tmp_path / "bench.json"
+        assert main(["1n/2r/2g/128", "--profile", "--reps", "1",
+                     "--warmup", "0", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out and "by resource class" in out
+
+        record = json.loads(json_path.read_text())
+        assert record["schema"] == "repro-bench/1"
+        assert record["config"] == "1n/2r/2g/128"
+        assert record["elapsed_s"]["mean"] > 0
+        # ISSUE acceptance bar: the critical path accounts for >= 95%.
+        assert record["critical_path"]["coverage"] >= 0.95
+        assert record["critical_path"]["phase_seconds"]
+
+        trace_path = tmp_path / "bench.trace.json"
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_json_auto_name_in_out_dir(self, tmp_path, capsys):
+        assert main(["1n/2r/2g/128", "--json", "--reps", "1",
+                     "--warmup", "0", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        auto = tmp_path / "BENCH_1n_2r_2g_128.json"
+        assert auto.exists()
+        assert json.loads(auto.read_text())["reps"] == 1
+        # No --profile: no critical path section, no trace file.
+        assert "critical_path" not in json.loads(auto.read_text())
+        assert not (tmp_path / "BENCH_1n_2r_2g_128.trace.json").exists()
+
+    def test_explicit_trace_path(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["1n/2r/2g/128", "--profile", "--reps", "1",
+                     "--warmup", "0", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert "traceEvents" in json.loads(trace.read_text())
+
+    def test_rung_selects_capabilities(self, capsys):
+        assert main(["2n/2r/2g/128", "--reps", "1", "--warmup", "0",
+                     "--rung", "+remote"]) == 0
+        out = capsys.readouterr().out
+        assert "+remote" in out and "staged" in out
+
+    def test_bad_config_and_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["3x/bad/config"])

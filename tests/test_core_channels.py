@@ -1,6 +1,5 @@
 """Unit tests for exchange-plan and channel invariants."""
 
-import pytest
 
 import repro
 from repro import Capability, Dim3

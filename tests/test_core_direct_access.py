@@ -1,7 +1,6 @@
 """Tests for the §VI DIRECT_ACCESS exchange method (opt-in extension)."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro import Capability, Dim3

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cuda.runtime import CudaContext
 from repro.errors import CudaError
-from repro.runtime import CostModel, SimCluster
+from repro.runtime import SimCluster
 from repro.sim import Resource
 from repro.topology import summit_machine
 

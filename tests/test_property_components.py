@@ -12,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 import repro
 from repro import Dim3
 from repro.radius import Radius
-from repro.core.halo import ALL_DIRECTIONS, Region, recv_region, send_region
+from repro.core.halo import ALL_DIRECTIONS, recv_region, send_region
 from repro.core.local_domain import LocalDomain
 from repro.core.packing import pack_action, unpack_action
 from repro.core.qap import qap_cost, solve_2opt

@@ -3,7 +3,7 @@
 import pytest
 
 import repro
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.runtime import CostModel, SimCluster
 from repro.runtime.costmodel import CostModel as CM
 from repro.sim import Task

@@ -74,6 +74,14 @@ class TestTracer:
         assert rows[0][2] == "a" and rows[1][2] == "b"
         assert rows[0][3] <= rows[1][3]
 
+    def test_rows_tie_broken_by_lane(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "z-first", 1.0, "z", "pack")
+        traced(eng, tr, "a-later", 1.0, "a", "pack")
+        eng.run()
+        # Both start at t=0: lane is the documented tiebreak.
+        assert [r[0] for r in tr.to_rows()] == ["a", "z"]
+
 
 class TestGantt:
     def test_renders_all_lanes(self):
@@ -88,6 +96,22 @@ class TestGantt:
 
     def test_empty(self):
         assert "empty" in render_gantt(Tracer())
+
+    def test_explicit_empty_lane_list(self):
+        # Regression: lanes=[] used to reach max() over an empty sequence
+        # and raise ValueError instead of rendering the empty placeholder.
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "g", "pack")
+        eng.run()
+        assert render_gantt(tr, lanes=[]) == "(empty timeline)"
+
+    def test_unknown_lane_renders_blank_row(self):
+        # An explicitly requested lane with no spans is still a valid row.
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 1.0, "g", "pack")
+        eng.run()
+        out = render_gantt(tr, width=20, lanes=["no-such-lane"])
+        assert "no-such-lane" in out and "P" not in out.split("legend")[0]
 
     def test_lane_subset(self):
         eng, tr = Engine(), Tracer()

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.dim3 import Dim3
 from repro.errors import ConfigurationError
-from repro.radius import Radius
 from repro.stencils.operators import (
     StencilWeights,
     apply_stencil,

@@ -1,6 +1,5 @@
 """Tests pinning the Summit model to the paper's Fig. 10 / Table I facts."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
