@@ -178,7 +178,8 @@ def _run_config(args) -> int:
     caps = LADDER[args.rung]
     run = profile_exchange_config(config, caps, reps=args.reps,
                                   warmup=args.warmup,
-                                  profile=args.profile)
+                                  profile=args.profile,
+                                  sanitize=args.sanitize or None)
     timing, final = run.timing, run.final
 
     print(f"===== {config.label()} ({args.rung}) =====")
@@ -193,6 +194,10 @@ def _run_config(args) -> int:
     print(format_utilization(
         utilization_report(run.cluster,
                            extra=world_resources(run.dd.world))))
+    if args.sanitize:
+        report = run.cluster.finalize()
+        print()
+        print(report.summary())
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
@@ -246,6 +251,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--rung", choices=list(LADDER), default="+kernel",
                         help="config runs: capability rung (default "
                              "+kernel = everything)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="config runs: attach the concurrency sanitizer "
+                             "(races / MPI misuse / lifetime) and include "
+                             "its findings in the report and bench JSON")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":

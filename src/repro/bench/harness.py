@@ -66,16 +66,21 @@ def build_domain(config: BenchConfig,
                  placement: str = "node_aware",
                  cost: Optional[CostModel] = None,
                  data_mode: bool = False,
-                 trace: bool = False
+                 trace: bool = False,
+                 sanitize: Optional[bool] = None
                  ) -> Tuple[DistributedDomain, SimCluster]:
-    """Construct the simulated machine + realized domain for a config."""
+    """Construct the simulated machine + realized domain for a config.
+
+    ``sanitize=True`` attaches the concurrency sanitizer to the cluster;
+    read its findings with ``cluster.finalize()`` after the run.
+    """
     node = summit_node(n_gpus=config.gpus_per_node)
     machine = Machine(node=node, n_nodes=config.nodes,
                       network=NetworkSpec(nic_ports=2,
                                           nic_port_bandwidth=IB_RAIL_BW,
                                           fabric_latency=FABRIC_LAT))
     cluster = SimCluster.create(machine, cost=cost, data_mode=data_mode,
-                                trace=trace)
+                                trace=trace, sanitize=sanitize)
     world = MpiWorld.create(cluster, config.ranks_per_node,
                             cuda_aware=config.cuda_aware)
     dd = DistributedDomain(world, size=config.size, radius=Radius.constant(radius),

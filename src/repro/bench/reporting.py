@@ -101,6 +101,8 @@ def bench_record(run: "ProfiledRun") -> dict:
     }
     if run.profile is not None:
         record["critical_path"] = run.profile.to_dict()
+    if run.cluster.sanitizer is not None:
+        record["sanitizer"] = run.cluster.finalize().to_dict()
     return record
 
 

@@ -90,6 +90,7 @@ class Channel:
         self.pin_recv: Optional[PinnedBuffer] = None
         self.remote_buf: Optional[DeviceBuffer] = None  # IPC-opened view
         self._handle_req = None
+        self._handle_send_req = None
         self._colo_copy: Optional[Task] = None
         #: set by a ConsolidatedGroup when this STAGED channel's message is
         #: merged into a single per-rank-pair transfer (§VI consolidation)
@@ -124,10 +125,12 @@ class Channel:
                 self.nbytes, f"ch{self.tag}/recv")
             handle = ipc_get_mem_handle(dctx, self.recv_buf,
                                         self.dst.rank.index)
-            self.dst.rank.isend(handle, self.src.rank.index,
-                                _SETUP_TAG_BASE + self.tag)
+            self._handle_send_req = self.dst.rank.isend(
+                handle, self.src.rank.index, _SETUP_TAG_BASE + self.tag)
             self._handle_req = self.src.rank.irecv(
                 None, self.dst.rank.index, _SETUP_TAG_BASE + self.tag)
+            self.dst.rank.wait(self._handle_send_req)
+            self.src.rank.wait(self._handle_req)
         elif m is ExchangeMethod.CUDA_AWARE_MPI:
             self.recv_buf = self.dst.device.alloc(
                 self.nbytes, f"ch{self.tag}/recv")
@@ -174,7 +177,9 @@ class Channel:
                 action=unpack_action(self.dst.domain, self.recv_reg,
                                      self.recv_buf),
                 what="unpack", kind="unpack",
-                deps=[gate], ordered=False)
+                deps=[gate], ordered=False,
+                reads=[self.recv_buf],
+                writes=[(self.dst.domain.buffer, self.recv_reg)])
             ops.dst_terminals.append(unpack)
         elif m is ExchangeMethod.CUDA_AWARE_MPI:
             dctx = self.dst.rank.ctx
@@ -185,7 +190,9 @@ class Channel:
                 action=unpack_action(self.dst.domain, self.recv_reg,
                                      self.recv_buf),
                 what="unpack", kind="unpack",
-                deps=[rreq.signal], ordered=False)
+                deps=[rreq.signal], ordered=False,
+                reads=[self.recv_buf],
+                writes=[(self.dst.domain.buffer, self.recv_reg)])
             ops.dst_terminals.append(unpack)
 
     def enqueue_src(self, ops: RoundOps) -> None:
@@ -196,7 +203,9 @@ class Channel:
             k = sctx.launch_kernel(
                 self.s_src, self.nbytes,
                 action=self_exchange_action(self.src.domain, self.direction),
-                what="selfx", kind="kernel")
+                what="selfx", kind="kernel",
+                reads=[(self.src.domain.buffer, self.send_reg)],
+                writes=[(self.dst.domain.buffer, self.recv_reg)])
             ops.src_terminals.append(k)
             return
         if m is ExchangeMethod.DIRECT_ACCESS:
@@ -218,13 +227,17 @@ class Channel:
                 action=direct_access_action(self.src.domain, self.send_reg,
                                             self.dst.domain, self.recv_reg),
                 what="directx", kind="kernel", duration=dur,
-                extra_resources=links)
+                extra_resources=links,
+                reads=[(self.src.domain.buffer, self.send_reg)],
+                writes=[(self.dst.domain.buffer, self.recv_reg)])
             ops.src_terminals.append(k)
             return
         pack = sctx.launch_kernel(
             self.s_src, self.nbytes,
             action=pack_action(self.src.domain, self.send_reg, self.pack_buf),
-            what="pack", kind="pack")
+            what="pack", kind="pack",
+            reads=[(self.src.domain.buffer, self.send_reg)],
+            writes=[self.pack_buf])
         if m is ExchangeMethod.PEER_MEMCPY:
             sctx.memcpy_peer_async(self.recv_buf, self.pack_buf, self.s_src,
                                    what="peercpy")
@@ -234,7 +247,9 @@ class Channel:
                 self.s_dst, self.nbytes,
                 action=unpack_action(self.dst.domain, self.recv_reg,
                                      self.recv_buf),
-                what="unpack", kind="unpack")
+                what="unpack", kind="unpack",
+                reads=[self.recv_buf],
+                writes=[(self.dst.domain.buffer, self.recv_reg)])
             ops.src_terminals.append(unpack)
         elif m is ExchangeMethod.COLOCATED_MEMCPY:
             copy = sctx.memcpy_peer_async(self.remote_buf, self.pack_buf,
@@ -279,7 +294,9 @@ class Channel:
             action=unpack_action(self.dst.domain, self.recv_reg,
                                  self.recv_buf),
             what="unpack", kind="unpack",
-            gate_deps=[sync])
+            gate_deps=[sync],
+            reads=[self.recv_buf],
+            writes=[(self.dst.domain.buffer, self.recv_reg)])
         ops.dst_terminals.append(unpack)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

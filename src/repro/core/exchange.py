@@ -268,12 +268,17 @@ class ExchangePlan:
             joins[rank.index] = j
 
         dd.cluster.run()
-        stuck = [f"r{i}" for i, j in joins.items() if not j.completed]
+        stuck = {i: j for i, j in joins.items() if not j.completed}
         if stuck:
+            from ..sanitize.deadlock import explain_stuck
             um = self.dd.world.transport.unmatched()
-            raise DeadlockError(
-                f"exchange never completed on ranks {stuck[:8]}; "
-                f"unmatched MPI ops: {um[:8]}")
+            msg = (f"exchange never completed on ranks "
+                   f"{[f'r{i}' for i in stuck][:8]}; "
+                   f"unmatched MPI ops: {um[:8]}")
+            detail = explain_stuck(list(stuck.values()))
+            if detail:
+                msg += "\nwait-for chains:\n" + detail
+            raise DeadlockError(msg)
 
         t0, finishes, end = _round_times(
             barrier_join.completion_time,

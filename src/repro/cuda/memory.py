@@ -48,9 +48,24 @@ class _BufferBase:
     def symbolic(self) -> bool:
         return self.array is None
 
+    def _sanitizer(self):
+        """The owning cluster's sanitizer, if one is attached (else None)."""
+        return None
+
     def check_alive(self) -> None:
         if self.freed:
+            san = self._sanitizer()
+            if san is not None:
+                san.lifetime.use_after_free(self)
             raise CudaError(f"use-after-free of buffer {self.label!r}")
+
+    def _check_free(self) -> None:
+        """Common guard for ``free()``: double-free is a hard error."""
+        if self.freed:
+            san = self._sanitizer()
+            if san is not None:
+                san.lifetime.double_free(self)
+            raise CudaError(f"double-free of buffer {self.label!r}")
 
     def copy_from(self, other: "_BufferBase") -> None:
         """Move bytes from ``other`` (no-op if either side is symbolic)."""
@@ -82,8 +97,11 @@ class DeviceBuffer(_BufferBase):
         super().__init__(nbytes, array, label)
         self.device = device
 
+    def _sanitizer(self):
+        return self.device.cluster.sanitizer
+
     def free(self) -> None:
-        self.check_alive()
+        self._check_free()
         self.freed = True
         self.device._release(self.nbytes)
         self.array = None
@@ -101,15 +119,22 @@ class PinnedBuffer(_BufferBase):
     paper's STAGED method uses (§II-A).
     """
 
-    __slots__ = ("node",)
+    __slots__ = ("node", "base", "base_offset")
 
     def __init__(self, node: "SimNode", nbytes: int,
                  array: Optional[np.ndarray], label: str) -> None:
         super().__init__(nbytes, array, label)
         self.node = node
+        #: for slices: the root allocation this buffer aliases (else None)
+        self.base: Optional["PinnedBuffer"] = None
+        #: byte offset of this buffer within :attr:`base`
+        self.base_offset = 0
+
+    def _sanitizer(self):
+        return self.node.cluster.sanitizer
 
     def free(self) -> None:
-        self.check_alive()
+        self._check_free()
         self.freed = True
         self.array = None
 
@@ -130,8 +155,13 @@ class PinnedBuffer(_BufferBase):
         arr = None
         if self.array is not None:
             arr = self.array.view(np.uint8).reshape(-1)[offset:offset + nbytes]
-        return PinnedBuffer(self.node, nbytes, arr,
-                            f"{self.label}[{offset}:{offset + nbytes}]")
+        sub = PinnedBuffer(self.node, nbytes, arr,
+                           f"{self.label}[{offset}:{offset + nbytes}]")
+        # Aliasing bookkeeping: resolve nested slices to the root
+        # allocation, so the sanitizer compares byte ranges in one frame.
+        sub.base = self.base if self.base is not None else self
+        sub.base_offset = self.base_offset + offset
+        return sub
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PinnedBuffer({self.label!r}, {self.nbytes}B on n{self.node.index})"

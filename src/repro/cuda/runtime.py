@@ -61,6 +61,12 @@ class CudaContext:
         t.submit()
         return t
 
+    def _annotate(self, task: Task, reads=(), writes=()) -> None:
+        """Declare ``task``'s buffer accesses to the sanitizer, if any."""
+        san = self.cluster.sanitizer
+        if san is not None:
+            san.races.annotate(task, reads, writes)
+
     def issue(self, what: str, deps: Sequence[Dep] = (),
               cost: Optional[float] = None, ordered: bool = True) -> Task:
         """One serial slice of this CPU thread (an API call's host side).
@@ -144,7 +150,8 @@ class CudaContext:
                       gate_deps: Sequence[Dep] = (),
                       ordered: bool = True,
                       duration: Optional[float] = None,
-                      extra_resources: Sequence[Resource] = ()) -> Task:
+                      extra_resources: Sequence[Resource] = (),
+                      reads: Sequence = (), writes: Sequence = ()) -> Task:
         """Launch a kernel on ``stream`` that moves ``nbytes`` of payload.
 
         Used for pack, unpack, self-exchange (the KERNEL method) and stencil
@@ -160,6 +167,11 @@ class CudaContext:
         ``extra_resources`` lets a kernel hold link resources while it
         runs — used by kernels whose loads/stores cross NVLink to a peer
         device (the §VI DIRECT_ACCESS method).
+
+        ``reads`` / ``writes`` declare the kernel's buffer accesses for the
+        sanitizer's race detector: each item is a buffer (whole-buffer), or
+        ``(buffer, Region)`` for a box within a subdomain array.  Ignored
+        when no sanitizer is attached.
         """
         cost = self.cluster.cost
         dev = stream.device
@@ -175,6 +187,7 @@ class CudaContext:
                        deps=op_deps,
                        action=action, lane=dev.lane, kind=kind, bytes=nbytes)
         stream.chain(t)
+        self._annotate(t, reads=reads, writes=writes)
         return t
 
     # -- copies -----------------------------------------------------------------------
@@ -206,7 +219,8 @@ class CudaContext:
     def _enqueue_copy(self, stream: Stream, what: str, kind: str,
                       resources, duration: float, nbytes: int,
                       action, deps: Sequence[Dep],
-                      ordered: bool = True) -> Task:
+                      ordered: bool = True,
+                      src_buf=None, dst_buf=None) -> Task:
         issue = self.issue(what, deps=deps, ordered=ordered)
         op_deps: list[Dep] = [issue]
         if stream.tail is not None:
@@ -215,6 +229,11 @@ class CudaContext:
                        resources=resources, deps=op_deps, action=action,
                        lane=stream.device.lane, kind=kind, bytes=nbytes)
         stream.chain(t)
+        # Copies touch their whole buffers: declare src as read, dst as
+        # write, so the race detector sees every async transfer.
+        self._annotate(t,
+                       reads=() if src_buf is None else (src_buf,),
+                       writes=() if dst_buf is None else (dst_buf,))
         return t
 
     def _copy_d2h(self, dst: PinnedBuffer, src: DeviceBuffer,
@@ -231,7 +250,8 @@ class CudaContext:
                + src.nbytes / (bw * cost.staging_efficiency))
         return self._enqueue_copy(
             stream, what, "d2h", [dev.copy_d2h, *path], dur, src.nbytes,
-            lambda: dst.copy_from(src), deps, ordered)
+            lambda: dst.copy_from(src), deps, ordered,
+            src_buf=src, dst_buf=dst)
 
     def _copy_h2d(self, dst: DeviceBuffer, src: PinnedBuffer,
                   stream: Stream, what: str, deps,
@@ -247,7 +267,8 @@ class CudaContext:
                + src.nbytes / (bw * cost.staging_efficiency))
         return self._enqueue_copy(
             stream, what, "h2d", [dev.copy_h2d, *path], dur, src.nbytes,
-            lambda: dst.copy_from(src), deps, ordered)
+            lambda: dst.copy_from(src), deps, ordered,
+            src_buf=src, dst_buf=dst)
 
     def _copy_d2d_local(self, dst: DeviceBuffer, src: DeviceBuffer,
                         stream: Stream, what: str, deps,
@@ -256,7 +277,8 @@ class CudaContext:
         dur = src.nbytes / dev.spec.internal_bandwidth
         return self._enqueue_copy(
             stream, what, "kernel", [dev.kernel_engine], dur, src.nbytes,
-            lambda: dst.copy_from(src), deps, ordered)
+            lambda: dst.copy_from(src), deps, ordered,
+            src_buf=src, dst_buf=dst)
 
     def memcpy_peer_async(self, dst: DeviceBuffer, src: DeviceBuffer,
                           stream: Stream, what: str = "memcpyPeer",
@@ -290,4 +312,4 @@ class CudaContext:
             dur = lat + src.nbytes / (bw * 0.5 * cost.peer_efficiency)
         return self._enqueue_copy(stream, what, "peer", resources, dur,
                                   src.nbytes, lambda: dst.copy_from(src),
-                                  deps, ordered)
+                                  deps, ordered, src_buf=src, dst_buf=dst)

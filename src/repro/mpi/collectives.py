@@ -54,14 +54,19 @@ def bcast(world: MpiWorld, value: Any, root: int = 0) -> List[Any]:
     rnd = 0
     while dist < size:
         reqs = []
+        sends = []
         for t in range(dist):
             peer = t + dist
             if peer >= size:
                 continue
             src, dst = tree_to_world(t), tree_to_world(peer)
             tag = tag0 + rnd * size + dst
-            world.ranks[src].isend(values[src], dst, tag)
+            sends.append((src, world.ranks[src].isend(values[src], dst, tag)))
             reqs.append((dst, world.ranks[dst].irecv(None, src, tag)))
+        for src, req in sends:
+            world.ranks[src].wait(req)
+        for dst, req in reqs:
+            world.ranks[dst].wait(req)
         world.cluster.run()
         for dst, req in reqs:
             if not req.completed:
@@ -91,12 +96,18 @@ def allgather(world: MpiWorld, contributions: Sequence[Any]) -> List[List[Any]]:
         have[r][r] = contributions[r]
     for step in range(size - 1):
         reqs = []
+        sends = []
         for r in range(size):
             right = (r + 1) % size
             owner = (r - step) % size       # newest item rank r holds
             tag = tag0 + step * size + right
-            world.ranks[r].isend((owner, have[r][owner]), right, tag)
+            sends.append(
+                (r, world.ranks[r].isend((owner, have[r][owner]), right, tag)))
             reqs.append((right, world.ranks[right].irecv(None, r, tag)))
+        for r, req in sends:
+            world.ranks[r].wait(req)
+        for right, req in reqs:
+            world.ranks[right].wait(req)
         world.cluster.run()
         for right, req in reqs:
             if not req.completed:
@@ -121,13 +132,18 @@ def allreduce(world: MpiWorld, contributions: Sequence[Any],
     dist = 1
     while dist < size:
         reqs = []
+        sends = []
         for r in range(0, size, dist * 2):
             peer = r + dist
             if peer >= size:
                 continue
             tag = tag0 + dist * size + r
-            world.ranks[peer].isend(partial[peer], r, tag)
+            sends.append((peer, world.ranks[peer].isend(partial[peer], r, tag)))
             reqs.append((r, peer, world.ranks[r].irecv(None, peer, tag)))
+        for peer, req in sends:
+            world.ranks[peer].wait(req)
+        for r, _peer, req in reqs:
+            world.ranks[r].wait(req)
         world.cluster.run()
         for r, peer, req in reqs:
             if not req.completed:

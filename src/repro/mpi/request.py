@@ -23,19 +23,31 @@ _req_ids = itertools.count(1)
 class Request:
     """Handle for a pending ``Isend``/``Irecv``."""
 
-    __slots__ = ("id", "kind", "label", "signal", "completed", "status",
-                 "data", "_callbacks")
+    __slots__ = ("id", "kind", "label", "signal", "_completed", "status",
+                 "data", "_callbacks", "waited", "observed")
 
     def __init__(self, kind: str, label: str) -> None:
         self.id = next(_req_ids)
         self.kind = kind  # "send" | "recv"
         self.label = label
         self.signal = Signal(f"req{self.id}:{label}")
-        self.completed = False
+        self._completed = False
+        #: True once a rank called ``wait``/``wait_all`` on this request
+        self.waited = False
+        #: True once user code saw ``completed`` return True — the
+        #: ``MPI_Test`` sense of consuming a completion (leak checking)
+        self.observed = False
         self.status: Optional[Status] = None
         #: for object (pickled) receives, the delivered Python object
         self.data: Any = None
         self._callbacks: List[Callable[["Request"], None]] = []
+
+    @property
+    def completed(self) -> bool:
+        """Completion flag; reading True counts as observing it."""
+        if self._completed:
+            self.observed = True
+        return self._completed
 
     def test(self) -> bool:
         """``MPI_Test``: non-destructively query completion."""
@@ -43,7 +55,7 @@ class Request:
 
     def on_complete(self, fn: Callable[["Request"], None]) -> None:
         """Run ``fn(request)`` when the request completes (or now if done)."""
-        if self.completed:
+        if self._completed:
             fn(self)
         else:
             self._callbacks.append(fn)
@@ -53,9 +65,9 @@ class Request:
         """Complete the request; ``source`` is the simulated task (wire
         transfer, eager delivery, ...) whose finish completed it — recorded
         on the signal so critical-path walks can continue through it."""
-        if self.completed:
+        if self._completed:
             raise MpiError(f"request completed twice: {self.label}")
-        self.completed = True
+        self._completed = True
         self.status = status
         if data is not None:
             self.data = data
@@ -65,4 +77,4 @@ class Request:
             fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Request({self.kind}, {self.label!r}, done={self.completed})"
+        return f"Request({self.kind}, {self.label!r}, done={self._completed})"

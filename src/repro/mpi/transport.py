@@ -123,6 +123,13 @@ class Transport:
         return s.nbytes <= self.world.cluster.cost.rendezvous_threshold
 
     def _match(self, s: _SendEntry, r: _RecvEntry) -> None:
+        san = self.world.cluster.sanitizer
+        if san is not None:
+            both = (isinstance(s.payload, (DeviceBuffer, PinnedBuffer))
+                    and isinstance(r.payload, (DeviceBuffer, PinnedBuffer)))
+            san.mpi.on_match(s.request.label, r.request.label, s.nbytes,
+                             r.capacity, self.world.cluster.engine.now,
+                             buffers=both)
         if isinstance(r.payload, (DeviceBuffer, PinnedBuffer)):
             if s.nbytes > r.capacity:
                 raise TruncationError(
@@ -255,6 +262,23 @@ class Transport:
             return action
         return None
 
+    def _annotate_transfer(self, task: Task, s: _SendEntry,
+                           r: Optional[_RecvEntry] = None) -> None:
+        """Record the wire/deliver task's buffer accesses with the race
+        detector: it reads the send payload and (when ``r`` is given)
+        writes the first ``s.nbytes`` bytes of the receive payload."""
+        san = self.world.cluster.sanitizer
+        if san is None:
+            return
+        reads = []
+        writes = []
+        if isinstance(s.payload, (DeviceBuffer, PinnedBuffer)):
+            reads.append(s.payload)
+        if r is not None and isinstance(r.payload, (DeviceBuffer, PinnedBuffer)):
+            writes.append((r.payload, (0, s.nbytes)))
+        if reads or writes:
+            san.races.annotate(task, reads, writes)
+
     def _eager_route(self, s: _SendEntry) -> Tuple[List[Resource], float, float]:
         """(resources, bandwidth, latency) for an eager injection.
 
@@ -284,6 +308,7 @@ class Transport:
             None, f"{s.rank.lane}/mpi", s.nbytes)
         inject.on_complete(lambda t: s.request._complete(
             eng, Status(s.rank.index, s.tag, s.nbytes), source=t))
+        self._annotate_transfer(inject, s)
         s.inject = inject
 
     def _eager_deliver(self, s: _SendEntry, r: _RecvEntry) -> None:
@@ -299,6 +324,7 @@ class Transport:
             self._copy_action(s, r), f"{r.rank.lane}/mpi", s.nbytes)
         deliver.on_complete(
             lambda t: self._finish(s, r, complete_send=False, source=t))
+        self._annotate_transfer(deliver, s, r)
 
     def _rendezvous(self, s: _SendEntry, r: _RecvEntry) -> None:
         """Large or device message: wire transfer gated on both sides.
@@ -339,3 +365,4 @@ class Transport:
             self._copy_action(s, r), f"{s.rank.lane}/mpi", s.nbytes)
         wire.on_complete(
             lambda t: self._finish(s, r, complete_send=True, source=t))
+        self._annotate_transfer(wire, s, r)

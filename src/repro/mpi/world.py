@@ -81,6 +81,7 @@ class Rank:
         self.world._check_rank(dest)
         self._check_buffer_owner(payload)
         req = Request("send", f"s{self.index}>{dest}.t{tag}")
+        self._register_request(req)
         issue = self.ctx.issue("Isend", deps=deps, ordered=ordered,
                                cost=self.world.cluster.cost.mpi_call_overhead)
         entry = _SendEntry(request=req, rank=self, dest=dest, tag=tag,
@@ -95,6 +96,7 @@ class Rank:
         self.world._check_rank(source)
         self._check_buffer_owner(payload)
         req = Request("recv", f"r{self.index}<{source}.t{tag}")
+        self._register_request(req)
         issue = self.ctx.issue("Irecv", deps=deps, ordered=ordered,
                                cost=self.world.cluster.cost.mpi_call_overhead)
         capacity = payload.nbytes if isinstance(
@@ -107,13 +109,27 @@ class Rank:
     def wait(self, request: Request) -> None:
         """``MPI_Wait``: block this rank's CPU until the request completes."""
         self.ctx.issue("Wait", cost=self.world.cluster.cost.mpi_call_overhead)
+        self._mark_wait(request)
         self.ctx.cpu_barrier_dep(request.signal)
 
     def wait_all(self, requests: Sequence[Request]) -> None:
         """``MPI_Waitall`` over this rank's requests."""
         self.ctx.issue("Waitall", cost=self.world.cluster.cost.mpi_call_overhead)
         for r in requests:
+            self._mark_wait(r)
             self.ctx.cpu_barrier_dep(r.signal)
+
+    # -- sanitizer plumbing --------------------------------------------------------
+    def _register_request(self, req: Request) -> None:
+        san = self.world.cluster.sanitizer
+        if san is not None:
+            san.mpi.register(req, self)
+
+    def _mark_wait(self, req: Request) -> None:
+        san = self.world.cluster.sanitizer
+        if san is not None:
+            san.mpi.mark_wait(req, self)
+        req.waited = True
 
     def _check_buffer_owner(self, payload: Any) -> None:
         if isinstance(payload, DeviceBuffer):
@@ -142,6 +158,7 @@ class MpiWorld:
         self.ranks_per_node = ranks_per_node
         self.cuda_aware = cuda_aware
         self.transport = Transport(self)
+        cluster.worlds.append(self)
 
     @classmethod
     def create(cls, cluster: "SimCluster", ranks_per_node: int,

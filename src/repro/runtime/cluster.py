@@ -14,12 +14,38 @@ halo exchange, used in tests/examples) or symbolic (sizes only, used for
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, DeadlockError
 from ..sim import Engine, Resource, Tracer
 from ..topology.machine import Machine
 from .costmodel import CostModel
+
+
+class _ClusterRegistry:
+    """Weak bookkeeping of live clusters, for test harnesses.
+
+    Disabled by default so library use never accumulates references; the
+    test suite's conftest enables it to run end-of-test sanitizer checks
+    over every cluster a test created.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.clusters: List["SimCluster"] = []
+
+    def add(self, cluster: "SimCluster") -> None:
+        if self.enabled:
+            self.clusters.append(cluster)
+
+    def drain(self) -> List["SimCluster"]:
+        out, self.clusters = self.clusters, []
+        return out
+
+
+#: registry hook used by tests (see ``tests/conftest.py``)
+cluster_registry = _ClusterRegistry()
 
 
 class SimNode:
@@ -100,19 +126,37 @@ class SimCluster:
         self.data_mode = data_mode
         self.engine = Engine()
         self.tracer = tracer
+        #: attached :class:`repro.sanitize.Sanitizer`, or None (the default)
+        self.sanitizer = None
+        #: every MpiWorld built over this cluster (for sanitizer finalize)
+        self.worlds: List["MpiWorld"] = []  # noqa: F821 - set by MpiWorld
         self.nodes: List[SimNode] = [SimNode(self, i)
                                      for i in range(machine.n_nodes)]
 
     @classmethod
     def create(cls, machine: Machine, cost: Optional[CostModel] = None,
-               data_mode: bool = True, trace: bool = False) -> "SimCluster":
-        """Build a cluster; ``trace=True`` records a full timeline."""
+               data_mode: bool = True, trace: bool = False,
+               sanitize: Optional[bool] = None) -> "SimCluster":
+        """Build a cluster; ``trace=True`` records a full timeline.
+
+        ``sanitize=True`` attaches a :class:`repro.sanitize.Sanitizer`
+        observing every simulated task, buffer access, and MPI request;
+        read its findings with :meth:`finalize`.  The default (``None``)
+        consults the ``REPRO_SANITIZE`` environment variable, so CI can
+        run the whole suite sanitized without touching call sites.
+        """
         from ..cuda.device import Device  # deferred: cuda imports runtime types
         cluster = cls(machine, cost or CostModel(), data_mode,
                       Tracer() if trace else None)
         for node in cluster.nodes:
             node.devices = [Device(cluster, node, local)
                             for local in range(machine.node.n_gpus)]
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        if sanitize:
+            from ..sanitize import Sanitizer  # deferred: sanitize imports sim
+            cluster.sanitizer = Sanitizer(cluster)
+        cluster_registry.add(cluster)
         return cluster
 
     # -- lookup -----------------------------------------------------------------
@@ -142,12 +186,42 @@ class SimCluster:
         """Run to quiescence and verify that ``pending_tasks`` all completed.
 
         Raises :class:`~repro.errors.DeadlockError` naming stuck tasks —
-        the simulated analogue of a hung exchange.
+        the simulated analogue of a hung exchange.  With a sanitizer
+        attached the error carries a wait-for chain for each stuck task.
         """
         t = self.engine.run()
         stuck = [x for x in pending_tasks if not x.completed]
         if stuck:
             names = ", ".join(s.name for s in stuck[:8])
-            raise DeadlockError(
-                f"{len(stuck)} task(s) never completed, e.g.: {names}")
+            msg = f"{len(stuck)} task(s) never completed, e.g.: {names}"
+            from ..sanitize.deadlock import explain_stuck
+            detail = explain_stuck(stuck)
+            if detail:
+                msg += "\nwait-for chains:\n" + detail
+            unmatched = self.check_unmatched()
+            if unmatched:
+                msg += "\nunmatched MPI messages: " + ", ".join(unmatched[:8])
+            raise DeadlockError(msg)
         return t
+
+    # -- sanitizer --------------------------------------------------------------
+    def finalize(self):
+        """Run the sanitizer's end-of-world checks and return its report.
+
+        Returns ``None`` when no sanitizer is attached.  Idempotent;
+        callers typically assert ``cluster.finalize().ok``.
+        """
+        if self.sanitizer is None:
+            return None
+        return self.sanitizer.finalize()
+
+    def check_unmatched(self) -> List[str]:
+        """Labels of never-matched MPI sends/recvs across every world.
+
+        Leaked messages are latent deadlocks; the test suite calls this in
+        teardown so they fail loudly rather than rotting in a queue.
+        """
+        out: List[str] = []
+        for world in self.worlds:
+            out.extend(world.transport.unmatched())
+        return out

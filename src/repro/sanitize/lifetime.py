@@ -1,0 +1,43 @@
+"""Buffer lifetime findings: use-after-free and double-free.
+
+The simulated allocator already *raises* on both (hard errors, like a CUDA
+``cudaErrorInvalidValue`` would eventually surface) — this checker records
+them as structured findings first, so a sanitized run retains the evidence
+(buffer label, virtual time) even when the exception is caught and
+reinterpreted layers above.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .report import Finding, SanitizerReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cuda.memory import _BufferBase
+
+
+class LifetimeChecker:
+    """Records buffer lifetime violations (see module doc)."""
+
+    def __init__(self, report: SanitizerReport, engine) -> None:
+        self.report = report
+        self.engine = engine
+
+    def double_free(self, buf: "_BufferBase") -> None:
+        self.report.add(Finding(
+            checker="lifetime",
+            kind="double-free",
+            message=f"buffer {buf.label!r} freed twice",
+            subjects=(buf.label,),
+            time=self.engine.now,
+        ))
+
+    def use_after_free(self, buf: "_BufferBase") -> None:
+        self.report.add(Finding(
+            checker="lifetime",
+            kind="use-after-free",
+            message=f"freed buffer {buf.label!r} used in an operation",
+            subjects=(buf.label,),
+            time=self.engine.now,
+        ))

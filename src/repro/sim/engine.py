@@ -33,7 +33,7 @@ class Engine:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_running", "_events_processed",
-                 "retain_dag")
+                 "retain_dag", "max_events", "observer")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -46,6 +46,14 @@ class Engine:
         #: Off by default: retaining edges pins every predecessor in memory,
         #: which long sweeps (many exchange rounds) cannot afford.
         self.retain_dag: bool = False
+        #: livelock guard: when set, a single :meth:`run` call raises after
+        #: dispatching this many events (a buggy self-rescheduling callback
+        #: fails with a diagnostic instead of hanging the process).
+        self.max_events: Optional[int] = None
+        #: optional hook object (e.g. a sanitizer) notified of task starts
+        #: (``task_started(task)``) and of each run to quiescence
+        #: (``on_quiescence()``).
+        self.observer = None
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -83,15 +91,24 @@ class Engine:
         self._seq += 1
 
     # -- running -----------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
         """Run events until the queue is empty (or past ``until``).
 
         Returns the final virtual time.  Callbacks may schedule further
         events; the loop continues until quiescence.  Re-entrant calls are
         rejected: callbacks must not call :meth:`run`.
+
+        ``max_events`` (here, or the :attr:`max_events` attribute) bounds
+        the number of events one call may dispatch; exceeding it raises
+        :class:`~repro.errors.SimulationError` — the livelock analogue of
+        the deadlock check, for callbacks that reschedule themselves
+        forever.
         """
         if self._running:
             raise SimulationError("Engine.run() is not re-entrant")
+        cap = max_events if max_events is not None else self.max_events
+        dispatched = 0
         self._running = True
         try:
             while self._heap:
@@ -99,12 +116,24 @@ class Engine:
                 if until is not None and when > until:
                     self._now = until
                     break
+                if cap is not None and dispatched >= cap:
+                    raise SimulationError(
+                        f"Engine.run() dispatched {dispatched} events "
+                        f"without quiescing (max_events={cap}); next: "
+                        f"t={when:.9f} with {len(self._heap)} queued — "
+                        f"likely a livelocked (self-rescheduling) callback")
                 heapq.heappop(self._heap)
                 self._now = when
                 self._events_processed += 1
+                dispatched += 1
                 cb()
         finally:
             self._running = False
+        if self.observer is not None and not self._heap:
+            # True quiescence: every scheduled effect has been applied, and
+            # the (single) driving thread is about to observe that fact — a
+            # global synchronization fence for happens-before purposes.
+            self.observer.on_quiescence()
         return self._now
 
     def step(self) -> bool:

@@ -37,7 +37,7 @@ class Signal:
     """
 
     __slots__ = ("name", "completed", "completion_time", "_dependents",
-                 "source")
+                 "source", "consumed")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -47,6 +47,9 @@ class Signal:
         #: the task whose completion fired this signal, when known — lets
         #: critical-path walks continue through request/condition boundaries
         self.source: Optional["Task"] = None
+        #: True once some task depended on this signal — the event-driven
+        #: sense of "the completion was observed" (MPI leak checking)
+        self.consumed = False
 
     def fire(self, engine: Engine, source: Optional["Task"] = None) -> None:
         if self.completed:
@@ -139,6 +142,8 @@ class Task:
             raise SimulationError(f"add_dep after submit: {self.name}")
         if dep is None:
             return
+        if dep.__class__ is Signal:
+            dep.consumed = True
         if self.engine.retain_dag:
             # Already-completed deps are kept too: the latest-finishing dep
             # determines eligibility regardless of when it was attached.
@@ -202,6 +207,9 @@ class Task:
     def _start(self) -> None:
         self.started = True
         self.start_time = self.engine.now
+        observer = self.engine.observer
+        if observer is not None:
+            observer.task_started(self)
         self.engine.schedule(self.duration, self._finish)
 
     def _finish(self) -> None:

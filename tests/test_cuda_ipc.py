@@ -46,6 +46,7 @@ class TestIpc:
             ipc_open_mem_handle(opener.ctx, h, opener.index,
                                 opener.node.index)
 
+    @pytest.mark.expect_findings   # deliberate use-after-free
     def test_freed_buffer_rejected(self, setup):
         cluster, world = setup
         owner = world.ranks[0]
@@ -71,10 +72,10 @@ class TestIpc:
         dst, src = world.ranks[0], world.ranks[1]
         buf = dst.devices[0].alloc(256)
         h = ipc_get_mem_handle(dst.ctx, buf, dst.index)
-        dst.isend(h, src.index, tag=99)
+        sreq = dst.isend(h, src.index, tag=99)
         req = src.irecv(None, dst.index, tag=99)
         cluster.run()
-        assert req.completed
+        assert sreq.completed and req.completed
         opened = ipc_open_mem_handle(src.ctx, req.data, src.index,
                                      src.node.index)
         assert opened is buf

@@ -44,6 +44,7 @@ class TestDeviceAlloc:
         with pytest.raises(CudaMemoryError):
             dev.alloc(200)
 
+    @pytest.mark.expect_findings   # deliberate use-after-free / double-free
     def test_use_after_free(self, dev):
         b = dev.alloc(64)
         b.free()

@@ -132,7 +132,9 @@ class TestExchangeProfile:
 
     def test_retain_dag_restored_after_profiling(self, profiled):
         cluster, _, _ = profiled
-        assert cluster.engine.retain_dag is False
+        # Restored to its pre-profiling value: False normally, True when a
+        # sanitizer owns the flag (it needs dependency edges permanently).
+        assert cluster.engine.retain_dag is (cluster.sanitizer is not None)
 
     def test_profile_with_staged_only(self):
         # The no-CUDA-aware staged path (§IV-C) must profile too: its

@@ -30,6 +30,8 @@ def make_dd(nodes=1, rpn=6, size=(18, 12, 12), **kw):
 
 
 class TestDeadlockDetection:
+    @pytest.mark.allow_unmatched
+    @pytest.mark.expect_findings
     def test_dropped_receive_is_reported(self):
         """Suppress one channel's receive: the exchange must fail with a
         DeadlockError naming the stuck rank and the unmatched send."""
@@ -99,6 +101,8 @@ class TestIsolatedComponents:
 
 
 class TestStateIntegrity:
+    @pytest.mark.allow_unmatched
+    @pytest.mark.expect_findings
     def test_failed_exchange_does_not_corrupt_data(self):
         """After a detected deadlock, the domain's interiors are intact and
         a repaired plan exchanges correctly."""

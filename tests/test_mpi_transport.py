@@ -19,19 +19,19 @@ class TestMatching:
         cluster, w = make_world()
         a, b = w.ranks[0].alloc_pinned(64), w.ranks[1].alloc_pinned(64)
         a.array[:] = 5
-        w.ranks[0].isend(a, 1, tag=7)
+        s = w.ranks[0].isend(a, 1, tag=7)
         r = w.ranks[1].irecv(b, 0, tag=7)
         cluster.run()
-        assert r.completed and (b.array == 5).all()
+        assert s.completed and r.completed and (b.array == 5).all()
 
     def test_recv_then_send(self):
         cluster, w = make_world()
         a, b = w.ranks[0].alloc_pinned(64), w.ranks[1].alloc_pinned(64)
         a.array[:] = 9
         r = w.ranks[1].irecv(b, 0, tag=7)
-        w.ranks[0].isend(a, 1, tag=7)
+        s = w.ranks[0].isend(a, 1, tag=7)
         cluster.run()
-        assert r.completed and (b.array == 9).all()
+        assert s.completed and r.completed and (b.array == 9).all()
 
     def test_tag_discrimination(self):
         cluster, w = make_world()
@@ -39,11 +39,12 @@ class TestMatching:
         b1, b2 = w.ranks[1].alloc_pinned(8), w.ranks[1].alloc_pinned(8)
         a1.array[:] = 1
         a2.array[:] = 2
-        w.ranks[0].isend(a1, 1, tag=1)
-        w.ranks[0].isend(a2, 1, tag=2)
-        w.ranks[1].irecv(b2, 0, tag=2)
-        w.ranks[1].irecv(b1, 0, tag=1)
+        reqs = [w.ranks[0].isend(a1, 1, tag=1),
+                w.ranks[0].isend(a2, 1, tag=2),
+                w.ranks[1].irecv(b2, 0, tag=2),
+                w.ranks[1].irecv(b1, 0, tag=1)]
         cluster.run()
+        assert all(r.completed for r in reqs)
         assert (b1.array == 1).all() and (b2.array == 2).all()
 
     def test_fifo_within_same_key(self):
@@ -53,23 +54,26 @@ class TestMatching:
         b1, b2 = w.ranks[1].alloc_pinned(8), w.ranks[1].alloc_pinned(8)
         a1.array[:] = 1
         a2.array[:] = 2
-        w.ranks[0].isend(a1, 1, tag=5)
-        w.ranks[0].isend(a2, 1, tag=5)
-        w.ranks[1].irecv(b1, 0, tag=5)
-        w.ranks[1].irecv(b2, 0, tag=5)
+        reqs = [w.ranks[0].isend(a1, 1, tag=5),
+                w.ranks[0].isend(a2, 1, tag=5),
+                w.ranks[1].irecv(b1, 0, tag=5),
+                w.ranks[1].irecv(b2, 0, tag=5)]
         cluster.run()
+        assert all(r.completed for r in reqs)
         assert (b1.array == 1).all() and (b2.array == 2).all()
 
     def test_status_populated(self):
         cluster, w = make_world()
         a, b = w.ranks[0].alloc_pinned(64), w.ranks[1].alloc_pinned(64)
-        w.ranks[0].isend(a, 1, tag=3)
+        s = w.ranks[0].isend(a, 1, tag=3)
         r = w.ranks[1].irecv(b, 0, tag=3)
         cluster.run()
+        assert s.completed and r.completed
         assert r.status.source == 0
         assert r.status.tag == 3
         assert r.status.count_bytes == 64
 
+    @pytest.mark.expect_findings
     def test_truncation(self):
         cluster, w = make_world()
         a, b = w.ranks[0].alloc_pinned(128), w.ranks[1].alloc_pinned(64)
@@ -78,16 +82,20 @@ class TestMatching:
         with pytest.raises(TruncationError):
             cluster.run()
 
+    @pytest.mark.expect_findings   # deliberate size mismatch (32 B -> 64 B)
     def test_bigger_recv_buffer_ok(self):
         cluster, w = make_world()
         a, b = w.ranks[0].alloc_pinned(32), w.ranks[1].alloc_pinned(64)
         a.array[:] = 4
-        w.ranks[0].isend(a, 1, tag=1)
+        s = w.ranks[0].isend(a, 1, tag=1)
         r = w.ranks[1].irecv(b, 0, tag=1)
         cluster.run()
+        assert s.completed
         assert (b.array[:32] == 4).all()
         assert r.status.count_bytes == 32
 
+    @pytest.mark.allow_unmatched
+    @pytest.mark.expect_findings
     def test_unmatched_diagnostics(self):
         cluster, w = make_world()
         a = w.ranks[0].alloc_pinned(8)
@@ -117,25 +125,26 @@ class TestProtocols:
         cluster.run()
         assert not sreq.completed
         b = w.ranks[1].alloc_pinned(1 << 20)
-        w.ranks[1].irecv(b, 0, tag=1)
+        rreq = w.ranks[1].irecv(b, 0, tag=1)
         cluster.run()
-        assert sreq.completed
+        assert sreq.completed and rreq.completed
 
     def test_self_send(self):
         cluster, w = make_world()
         r0 = w.ranks[0]
         a, b = r0.alloc_pinned(1 << 20), r0.alloc_pinned(1 << 20)
         a.array[:] = 6
-        r0.isend(a, 0, tag=1)
+        s = r0.isend(a, 0, tag=1)
         req = r0.irecv(b, 0, tag=1)
         cluster.run()
-        assert req.completed and (b.array == 6).all()
+        assert s.completed and req.completed and (b.array == 6).all()
 
     def test_object_message(self):
         cluster, w = make_world()
-        w.ranks[0].isend({"k": [1, 2, 3]}, 1, tag=1)
+        s = w.ranks[0].isend({"k": [1, 2, 3]}, 1, tag=1)
         req = w.ranks[1].irecv(None, 0, tag=1)
         cluster.run()
+        assert s.completed and req.completed
         assert req.data == {"k": [1, 2, 3]}
 
     def test_intranode_lower_latency_than_internode(self):
@@ -152,9 +161,11 @@ class TestProtocols:
             cluster, w = make_world(nodes=2, rpn=6)
             a = w.ranks[src].alloc_pinned(nbytes)
             b = w.ranks[dst].alloc_pinned(nbytes)
-            w.ranks[src].isend(a, dst, tag=1)
-            w.ranks[dst].irecv(b, src, tag=1)
-            return cluster.run()
+            s = w.ranks[src].isend(a, dst, tag=1)
+            r = w.ranks[dst].irecv(b, src, tag=1)
+            t = cluster.run()
+            assert s.completed and r.completed
+            return t
 
         assert timed(0, 1) < timed(0, 6)
 
@@ -212,20 +223,21 @@ class TestCudaAware:
         a = cluster.device(0).alloc_array((256,), "f4")
         b = cluster.device(1).alloc_array((256,), "f4")
         a.array[:] = np.arange(256)
-        w.ranks[0].isend(a, 1, tag=1)
+        s = w.ranks[0].isend(a, 1, tag=1)
         req = w.ranks[1].irecv(b, 0, tag=1)
         cluster.run()
-        assert req.completed and np.array_equal(a.array, b.array)
+        assert s.completed and req.completed
+        assert np.array_equal(a.array, b.array)
 
     def test_internode_device_transfer(self):
         cluster, w = make_world(nodes=2, rpn=6, cuda_aware=True)
         a = cluster.device(0).alloc_array((256,), "f4")
         b = cluster.device(6).alloc_array((256,), "f4")
         a.array[:] = 3
-        w.ranks[0].isend(a, 6, tag=1)
+        s = w.ranks[0].isend(a, 6, tag=1)
         req = w.ranks[6].irecv(b, 0, tag=1)
         cluster.run()
-        assert req.completed and (b.array == 3).all()
+        assert s.completed and req.completed and (b.array == 3).all()
 
     def test_default_stream_serialization(self):
         """Two CUDA-aware sends from one GPU serialize on its default
@@ -235,12 +247,15 @@ class TestCudaAware:
 
         def timed(pairs):
             cluster, w = make_world(nodes=1, rpn=6, cuda_aware=True)
+            reqs = []
             for i, (sg, dg) in enumerate(pairs):
                 a = cluster.device(sg).alloc(nbytes)
                 b = cluster.device(dg).alloc(nbytes)
-                w.ranks[sg].isend(a, dg, tag=i)
-                w.ranks[dg].irecv(b, sg, tag=i)
-            return cluster.run()
+                reqs.append(w.ranks[sg].isend(a, dg, tag=i))
+                reqs.append(w.ranks[dg].irecv(b, sg, tag=i))
+            t = cluster.run()
+            assert all(r.completed for r in reqs)
+            return t
 
         one = timed([(0, 1)])
         two_same_src = timed([(0, 1), (0, 2)])
@@ -257,9 +272,11 @@ class TestCudaAware:
                                     cost=cost)
             a = cluster.device(0).alloc(1 << 10)
             b = cluster.device(1).alloc(1 << 10)
-            w.ranks[0].isend(a, 1, tag=1)
-            w.ranks[1].irecv(b, 0, tag=1)
-            return cluster.run()
+            s = w.ranks[0].isend(a, 1, tag=1)
+            r = w.ranks[1].irecv(b, 0, tag=1)
+            t = cluster.run()
+            assert s.completed and r.completed
+            return t
 
         assert timed(slow) > timed(fast) + 400e-6
 

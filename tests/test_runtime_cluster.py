@@ -113,12 +113,15 @@ class TestNicContention:
         def timed(n_msgs):
             cluster = SimCluster.create(summit_machine(2), data_mode=False)
             world = MpiWorld.create(cluster, 6)
+            reqs = []
             for i in range(n_msgs):
                 a = world.ranks[i].alloc_pinned(16 << 20)
                 b = world.ranks[6 + i].alloc_pinned(16 << 20)
-                world.ranks[i].isend(a, 6 + i, tag=i)
-                world.ranks[6 + i].irecv(b, i, tag=i)
-            return cluster.run()
+                reqs.append(world.ranks[i].isend(a, 6 + i, tag=i))
+                reqs.append(world.ranks[6 + i].irecv(b, i, tag=i))
+            t = cluster.run()
+            assert all(r.completed for r in reqs)
+            return t
 
         one = timed(1)
         two = timed(2)

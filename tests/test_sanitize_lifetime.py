@@ -1,0 +1,77 @@
+"""Lifetime checker: double-free and use-after-free leave structured
+findings *and* raise — the evidence survives even when the exception is
+swallowed layers above.
+"""
+
+import pytest
+
+import repro
+from repro.errors import CudaError
+from repro.topology import summit_machine
+
+
+def make_cluster():
+    cluster = repro.SimCluster.create(summit_machine(1), sanitize=True)
+    world = repro.MpiWorld.create(cluster, 6)
+    return cluster, world
+
+
+class TestDoubleFree:
+    @pytest.mark.expect_findings
+    def test_device_buffer_double_free(self):
+        cluster, world = make_cluster()
+        buf = world.ranks[0].devices[0].alloc(64)
+        buf.free()
+        with pytest.raises(CudaError):
+            buf.free()
+        report = cluster.finalize()
+        assert report.counts.get("lifetime/double-free", 0) == 1
+        assert report.by_kind("double-free")[0].subjects == (buf.label,)
+
+    @pytest.mark.expect_findings
+    def test_pinned_buffer_double_free(self):
+        cluster, world = make_cluster()
+        buf = world.ranks[0].alloc_pinned(64)
+        buf.free()
+        with pytest.raises(CudaError):
+            buf.free()
+        assert cluster.finalize().counts.get("lifetime/double-free", 0) == 1
+
+
+class TestUseAfterFree:
+    @pytest.mark.expect_findings
+    def test_copy_from_freed_buffer(self):
+        """free -> copy regression: the memcpy raises and leaves evidence."""
+        cluster, world = make_cluster()
+        rank = world.ranks[0]
+        dev = rank.devices[0]
+        src, dst = dev.alloc(128), rank.alloc_pinned(128)
+        stream = rank.ctx.create_stream(dev)
+        src.free()
+        with pytest.raises(CudaError):
+            rank.ctx.memcpy_async(dst, src, stream)
+        report = cluster.finalize()
+        assert report.counts.get("lifetime/use-after-free", 0) == 1
+        assert report.by_kind("use-after-free")[0].subjects == (src.label,)
+
+    @pytest.mark.expect_findings
+    def test_copy_into_freed_buffer(self):
+        cluster, world = make_cluster()
+        rank = world.ranks[0]
+        dev = rank.devices[0]
+        src, dst = rank.alloc_pinned(128), dev.alloc(128)
+        stream = rank.ctx.create_stream(dev)
+        dst.free()
+        with pytest.raises(CudaError):
+            rank.ctx.memcpy_async(dst, src, stream)
+        assert cluster.finalize().counts.get("lifetime/use-after-free", 0) == 1
+
+    def test_live_buffers_are_clean(self):
+        cluster, world = make_cluster()
+        rank = world.ranks[0]
+        dev = rank.devices[0]
+        src, dst = dev.alloc(128), rank.alloc_pinned(128)
+        stream = rank.ctx.create_stream(dev)
+        rank.ctx.memcpy_async(dst, src, stream)
+        cluster.run()
+        assert cluster.finalize().ok

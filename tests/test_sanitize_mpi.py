@@ -1,0 +1,115 @@
+"""MPI checker: leaked requests, double waits, size mismatches, unmatched
+messages — each seeded deliberately and asserted as a structured finding.
+"""
+
+import pytest
+
+import repro
+from repro.errors import DeadlockError
+from repro.sim import Signal, Task
+from repro.topology import summit_machine
+
+
+def make_world(nodes=1, rpn=6):
+    cluster = repro.SimCluster.create(summit_machine(nodes), sanitize=True)
+    world = repro.MpiWorld.create(cluster, rpn)
+    return cluster, world
+
+
+class TestRequestLifecycle:
+    @pytest.mark.expect_findings
+    def test_leaked_requests_reported_at_finalize(self):
+        """Both handles dropped without wait/test/dependency: two leaks."""
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(256), w.ranks[1].alloc_pinned(256)
+        w.ranks[0].isend(a, 1, tag=1)
+        w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        report = cluster.finalize()
+        assert report.counts.get("mpi/leaked-request", 0) == 2
+        leaks = report.by_kind("leaked-request")
+        assert {f.subjects[0] for f in leaks} == {"s0>1.t1", "r1<0.t1"}
+
+    def test_waited_requests_are_not_leaks(self):
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(256), w.ranks[1].alloc_pinned(256)
+        s = w.ranks[0].isend(a, 1, tag=1)
+        r = w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        w.ranks[0].wait(s)
+        w.ranks[1].wait(r)
+        assert cluster.finalize().ok
+
+    def test_tested_requests_are_not_leaks(self):
+        """``MPI_Test`` observing completion consumes it like a wait."""
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(256), w.ranks[1].alloc_pinned(256)
+        s = w.ranks[0].isend(a, 1, tag=1)
+        r = w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        assert s.test() and r.test()
+        assert cluster.finalize().ok
+
+    @pytest.mark.expect_findings
+    def test_double_wait_reported(self):
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(64), w.ranks[1].alloc_pinned(64)
+        s = w.ranks[0].isend(a, 1, tag=1)
+        r = w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        w.ranks[1].wait(r)
+        w.ranks[1].wait(r)
+        w.ranks[0].wait(s)
+        report = cluster.finalize()
+        assert report.counts.get("mpi/double-wait", 0) == 1
+        assert report.by_kind("double-wait")[0].subjects == (r.label,)
+
+
+class TestMatchChecks:
+    @pytest.mark.expect_findings
+    def test_size_mismatch_on_match(self):
+        """512 B into a 1024 B receive: legal in MPI, a symptom here."""
+        cluster, w = make_world()
+        a, b = w.ranks[0].alloc_pinned(512), w.ranks[1].alloc_pinned(1024)
+        s = w.ranks[0].isend(a, 1, tag=1)
+        r = w.ranks[1].irecv(b, 0, tag=1)
+        cluster.run()
+        assert s.completed and r.completed
+        report = cluster.finalize()
+        assert report.counts.get("mpi/size-mismatch", 0) == 1
+        f = report.by_kind("size-mismatch")[0]
+        assert "512" in f.message and "1024" in f.message
+
+    @pytest.mark.allow_unmatched
+    @pytest.mark.expect_findings
+    def test_unmatched_recv_reported_at_finalize(self):
+        cluster, w = make_world()
+        b = w.ranks[1].alloc_pinned(64)
+        w.ranks[1].irecv(b, 0, tag=77)
+        cluster.run()
+        report = cluster.finalize()
+        assert report.counts.get("mpi/unmatched-recv", 0) == 1
+
+
+class TestDeadlockExplanation:
+    def test_stuck_task_explained_with_wait_for_chain(self):
+        """Under the sanitizer the engine retains the task DAG, so a
+        deadlock report includes the chain ending at the unfired dep."""
+        cluster = repro.SimCluster.create(summit_machine(1), sanitize=True)
+        never = Signal("never-fired")
+        t = Task(cluster.engine, name="stuck-op", duration=1.0,
+                 deps=[never]).submit()
+        with pytest.raises(DeadlockError) as exc:
+            cluster.run_and_check([t])
+        msg = str(exc.value)
+        assert "wait-for chains" in msg
+        assert "stuck-op" in msg and "never-fired" in msg
+
+    def test_without_sanitizer_explanation_degrades(self):
+        cluster = repro.SimCluster.create(summit_machine(1), sanitize=False)
+        never = Signal("never-fired")
+        t = Task(cluster.engine, name="stuck-op", duration=1.0,
+                 deps=[never]).submit()
+        with pytest.raises(DeadlockError) as exc:
+            cluster.run_and_check([t])
+        assert "wait-for graph unavailable" in str(exc.value)

@@ -136,3 +136,39 @@ class TestRun:
             return out
 
         assert record(delays) == record(delays)
+
+
+class TestLivelockGuard:
+    def test_self_rescheduling_callback_detected(self):
+        eng = Engine()
+
+        def forever():
+            eng.schedule(0.001, forever)
+
+        eng.schedule(0.0, forever)
+        with pytest.raises(SimulationError) as exc:
+            eng.run(max_events=1000)
+        assert "max_events" in str(exc.value)
+        assert "livelock" in str(exc.value)
+
+    def test_attribute_cap_applies_to_every_run(self):
+        eng = Engine()
+        eng.max_events = 50
+
+        def forever():
+            eng.schedule(0.001, forever)
+
+        eng.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_cap_counts_per_call_not_lifetime(self):
+        """A well-behaved workload under the cap runs to quiescence in
+        repeated calls without tripping the guard."""
+        eng = Engine()
+        fired = []
+        for round_ in range(3):
+            for i in range(40):
+                eng.schedule(1.0, lambda i=i: fired.append(i))
+            eng.run(max_events=50)
+        assert len(fired) == 120
