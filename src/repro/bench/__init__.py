@@ -10,27 +10,54 @@ placement comparison); :mod:`repro.bench.reporting` renders the results as
 the text tables recorded in EXPERIMENTS.md.
 """
 
+from .baselines import BASELINES, RUNGS, run_baseline, write_baselines
+from .compare import compare_records, regressions
 from .config import BenchConfig, parse_config, weak_scaling_extent
-from .harness import ExchangeTiming, run_exchange_config, build_domain
+from .harness import (
+    ExchangeTiming,
+    ProfiledRun,
+    build_domain,
+    profile_exchange_config,
+    run_exchange_config,
+)
 from .sweeps import (
     capability_ladder,
     placement_comparison,
     strong_scaling,
     weak_scaling,
 )
-from .reporting import format_table, format_series
+from .reporting import (
+    BENCH_SCHEMA,
+    bench_record,
+    format_series,
+    format_table,
+    validate_bench_record,
+    write_bench_json,
+)
 
 __all__ = [
+    "BASELINES",
+    "BENCH_SCHEMA",
     "BenchConfig",
-    "parse_config",
-    "weak_scaling_extent",
     "ExchangeTiming",
-    "run_exchange_config",
+    "ProfiledRun",
+    "RUNGS",
+    "bench_record",
     "build_domain",
     "capability_ladder",
-    "placement_comparison",
-    "strong_scaling",
-    "weak_scaling",
-    "format_table",
+    "compare_records",
     "format_series",
+    "format_table",
+    "parse_config",
+    "placement_comparison",
+    "profile_exchange_config",
+    "regressions",
+    "run_baseline",
+    "run_exchange_config",
+    "strong_scaling",
+    "validate_bench_record",
+    "weak_scaling",
+    "weak_scaling_extent",
+    "write_baselines",
+    "write_bench_json",
 ]

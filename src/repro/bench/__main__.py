@@ -18,6 +18,15 @@ the diffable bench JSON (``--json`` without a path picks
 it (``<json stem>.trace.json``, or ``--trace PATH``) that opens directly
 in https://ui.perfetto.dev.
 
+Two subcommands support the committed-baseline workflow::
+
+    python -m repro.bench baseline --out benchmarks/baselines
+    python -m repro.bench compare benchmarks/baselines/BENCH_X.json NEW.json
+
+``baseline`` regenerates the committed records; ``compare`` is the
+thresholded regression gate CI runs against them (nonzero exit on
+regression).
+
 Each figure experiment prints its paper-style table (and optionally writes
 it to ``--out``).  The pytest modules under ``benchmarks/`` run the same
 code and additionally *assert* the paper's claims; this CLI is the
@@ -31,7 +40,6 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from ..core.capabilities import LADDER
 from ..dim3 import Dim3
 from ..errors import ConfigurationError
 from ..sim.analysis import (
@@ -41,6 +49,8 @@ from ..sim.analysis import (
     world_resources,
 )
 from ..topology import summit_machine, summit_node
+from .baselines import RUNGS, baseline_main
+from .compare import compare_main
 from .config import BenchConfig, parse_config
 from .harness import build_domain, profile_exchange_config
 from .reporting import (
@@ -172,14 +182,45 @@ def _resolve_json_path(args, config_label: str) -> Path:
     return base / bench_filename(config_label)
 
 
+def _print_metrics(run) -> None:
+    """Top-counter table, per-kind busy times, and the link heatmap."""
+    from ..metrics import heatmap_for_cluster
+    from ..sim.analysis import format_kind_times
+
+    m = run.cluster.metrics
+    rows = [(name, _format_labels(labels), value)
+            for name, labels, value in m.registry.top_counters(15)]
+    print()
+    print(format_table(["counter", "labels", "value"], rows,
+                       title="top counters (measured rounds)"))
+    if run.cluster.tracer is not None:
+        print()
+        print(format_kind_times(run.cluster.tracer))
+    print()
+    print(heatmap_for_cluster(run.cluster, world=run.dd.world))
+    print(f"({len(m.events)} structured events recorded)")
+
+
+def _format_labels(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def _metrics_paths(args, config_label: str):
+    """(snapshot path, events path) for ``--metrics`` output files."""
+    base = args.out if args.out is not None else Path(".")
+    stem = f"METRICS_{config_label.replace('/', '_')}"
+    return base / f"{stem}.json", base / f"{stem}.events.jsonl"
+
+
 def _run_config(args) -> int:
     """Profile one configuration string (``2n/6r/6g/512[/ca]``)."""
     config = parse_config(args.experiment)
-    caps = LADDER[args.rung]
+    caps = RUNGS[args.rung]
     run = profile_exchange_config(config, caps, reps=args.reps,
                                   warmup=args.warmup,
                                   profile=args.profile,
-                                  sanitize=args.sanitize or None)
+                                  sanitize=args.sanitize or None,
+                                  metrics=args.metrics or None)
     timing, final = run.timing, run.final
 
     print(f"===== {config.label()} ({args.rung}) =====")
@@ -198,9 +239,18 @@ def _run_config(args) -> int:
         report = run.cluster.finalize()
         print()
         print(report.summary())
+    if args.metrics:
+        _print_metrics(run)
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+    if args.metrics:
+        snap_path, events_path = _metrics_paths(args, config.label())
+        snap_path.write_text(run.cluster.metrics.registry.snapshot_json()
+                             + "\n")
+        run.cluster.metrics.events.write(events_path)
+        print(f"\nwrote {snap_path}")
+        print(f"wrote {events_path}")
     if args.json is not None:
         json_path = _resolve_json_path(args, config.label())
         write_bench_json(json_path, bench_record(run))
@@ -216,12 +266,25 @@ def _run_config(args) -> int:
             trace_path = base / (
                 bench_filename(config.label())[:-len(".json")]
                 + ".trace.json")
-        trace_path.write_text(trace_to_chrome_json(run.cluster.tracer) + "\n")
+        trace_path.write_text(
+            trace_to_chrome_json(run.cluster.tracer,
+                                 cluster=run.cluster,
+                                 extra=world_resources(run.dd.world))
+            + "\n")
         print(f"wrote {trace_path} (open at https://ui.perfetto.dev)")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommands with their own argument shapes route before the main
+    # parser (which requires an experiment/config positional).
+    if argv[:1] == ["compare"]:
+        return compare_main(argv[1:])
+    if argv[:1] == ["baseline"]:
+        return baseline_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation artifacts, or "
@@ -248,13 +311,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="config runs: measured repetitions")
     parser.add_argument("--warmup", type=int, default=1,
                         help="config runs: warm-up rounds before measuring")
-    parser.add_argument("--rung", choices=list(LADDER), default="+kernel",
+    parser.add_argument("--rung", choices=list(RUNGS), default="+kernel",
                         help="config runs: capability rung (default "
-                             "+kernel = everything)")
+                             "+kernel = the paper's full ladder; +direct "
+                             "additionally enables direct access)")
     parser.add_argument("--sanitize", action="store_true",
                         help="config runs: attach the concurrency sanitizer "
                              "(races / MPI misuse / lifetime) and include "
                              "its findings in the report and bench JSON")
+    parser.add_argument("--metrics", action="store_true",
+                        help="config runs: attach the metrics registry + "
+                             "event log; print top counters and the link "
+                             "heatmap, write METRICS_<config>.json and the "
+                             "event JSONL, and include the snapshot in the "
+                             "bench JSON")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":

@@ -1,0 +1,86 @@
+"""Committed performance baselines and the machinery to (re)generate them.
+
+``benchmarks/baselines/`` holds one ``BENCH_<config>.json`` per entry in
+:data:`BASELINES` — a small set of configurations chosen so that *all six*
+exchange methods appear across them (kernel, direct_access, peer_memcpy,
+colocated_memcpy, cuda_aware_mpi, staged).  CI regenerates each record
+and runs ``repro.bench compare`` against the committed file, so any change
+to the simulated timing model, the transport, or the planner shows up as a
+reviewed diff instead of silent drift.
+
+Regenerate after an intentional performance change::
+
+    python -m repro.bench baseline --out benchmarks/baselines
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..core.capabilities import LADDER, Capability
+from .config import parse_config
+from .harness import ProfiledRun, profile_exchange_config
+from .reporting import bench_filename, bench_record, write_bench_json
+
+#: capability rungs selectable from the bench CLI.  The paper's ladder
+#: (:data:`~repro.core.capabilities.LADDER`) is frozen at four rungs;
+#: ``+direct`` extends it here so baselines can exercise DIRECT_ACCESS.
+RUNGS: Dict[str, Capability] = {**LADDER,
+                                "+direct": Capability.all_plus_direct()}
+
+#: ``(config string, rung)`` pairs; together they exercise all six methods:
+#: - 1n/2r/6g/96 @ +kernel: kernel, peer_memcpy, colocated_memcpy
+#: - 2n/2r/2g/128/ca @ +kernel: cuda_aware_mpi, colocated_memcpy, kernel
+#: - 2n/1r/2g/128 @ +direct: staged, direct_access, kernel
+BASELINES: Tuple[Tuple[str, str], ...] = (
+    ("1n/2r/6g/96", "+kernel"),
+    ("2n/2r/2g/128/ca", "+kernel"),
+    ("2n/1r/2g/128", "+direct"),
+)
+
+#: measurement protocol for baseline records (deterministic sim: 2 reps
+#: after 1 warm-up round is exact, not noisy)
+BASELINE_REPS = 2
+BASELINE_WARMUP = 1
+
+
+def baseline_filename(config_label: str) -> str:
+    return bench_filename(config_label)
+
+
+def run_baseline(config_str: str, rung: str) -> ProfiledRun:
+    """Profile one baseline entry with the full observability surface on."""
+    return profile_exchange_config(
+        parse_config(config_str), RUNGS[rung],
+        reps=BASELINE_REPS, warmup=BASELINE_WARMUP,
+        profile=True, trace=True, metrics=True)
+
+
+def write_baselines(outdir: Path) -> List[Path]:
+    """Regenerate every :data:`BASELINES` record into ``outdir``."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for config_str, rung in BASELINES:
+        run = run_baseline(config_str, rung)
+        record = bench_record(run)
+        paths.append(write_bench_json(
+            outdir / baseline_filename(run.timing.config.label()), record))
+    return paths
+
+
+def baseline_main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro.bench baseline``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench baseline",
+        description="Regenerate the committed bench baseline records.")
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/baselines"),
+                        help="output directory (default %(default)s)")
+    args = parser.parse_args(argv)
+    for p in write_baselines(args.out):
+        print(f"wrote {p}")
+    return 0

@@ -1,0 +1,155 @@
+"""The bench regression gate: compare two bench records with thresholds.
+
+``python -m repro.bench compare BASELINE.json NEW.json`` loads two
+``repro-bench/2`` records of the *same configuration*, validates both, and
+checks the gated quantities:
+
+* **elapsed** (mean and best over reps) — regression when the new value
+  exceeds baseline by more than ``--tol-elapsed`` (relative);
+* **imbalance** — regression when it grows by more than ``--tol-imbalance``
+  (relative);
+* **per-link-class utilization** (``max_utilization`` of nvlink / xbus /
+  pcie / nic rows) — flagged when it moves by more than ``--tol-util``
+  (absolute), in either direction: links suddenly busier *or* idler than
+  the committed baseline both mean the traffic pattern changed and a human
+  should look.
+
+Exit status is nonzero iff any regression fired, which is what CI keys on.
+The simulation is deterministic, so the default tolerances are tight —
+they absorb float noise from refactors, not real slowdowns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .reporting import format_table, validate_bench_record
+
+#: utilization classes the gate watches (link hardware, not engines)
+GATED_LINK_CLASSES = ("nvlink", "xbus", "pcie", "nic")
+
+DEFAULT_TOL_ELAPSED = 0.02    #: relative growth allowed in elapsed time
+DEFAULT_TOL_IMBALANCE = 0.02  #: relative growth allowed in imbalance
+DEFAULT_TOL_UTIL = 0.05       #: absolute per-class utilization drift allowed
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One gated quantity's comparison outcome."""
+
+    metric: str
+    baseline: float
+    new: float
+    regressed: bool
+    note: str = ""
+
+    @property
+    def change(self) -> float:
+        """Relative change (new vs baseline); 0 when baseline is 0."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.new - self.baseline) / self.baseline
+
+
+def _util_by_class(record: dict) -> Dict[str, float]:
+    return {row["class"]: row["max_utilization"]
+            for row in record["utilization"]}
+
+
+def compare_records(baseline: dict, new: dict,
+                    tol_elapsed: float = DEFAULT_TOL_ELAPSED,
+                    tol_imbalance: float = DEFAULT_TOL_IMBALANCE,
+                    tol_util: float = DEFAULT_TOL_UTIL) -> List[Delta]:
+    """All gated deltas between two validated same-config records."""
+    validate_bench_record(baseline)
+    validate_bench_record(new)
+    if baseline["config"] != new["config"]:
+        raise ValueError(
+            f"config mismatch: baseline is {baseline['config']!r}, "
+            f"new is {new['config']!r} — comparing different experiments")
+    if baseline["capabilities"] != new["capabilities"]:
+        raise ValueError(
+            f"capability mismatch: {baseline['capabilities']!r} vs "
+            f"{new['capabilities']!r}")
+    deltas: List[Delta] = []
+    for key in ("mean", "best"):
+        b, n = baseline["elapsed_s"][key], new["elapsed_s"][key]
+        deltas.append(Delta(
+            f"elapsed_{key}_s", b, n,
+            regressed=n > b * (1.0 + tol_elapsed),
+            note=f"> +{tol_elapsed:.0%}" if n > b * (1 + tol_elapsed) else ""))
+    b, n = baseline["imbalance"], new["imbalance"]
+    deltas.append(Delta(
+        "imbalance", b, n,
+        regressed=n > b * (1.0 + tol_imbalance),
+        note=f"> +{tol_imbalance:.0%}" if n > b * (1 + tol_imbalance) else ""))
+    bu, nu = _util_by_class(baseline), _util_by_class(new)
+    for cls in GATED_LINK_CLASSES:
+        if cls not in bu and cls not in nu:
+            continue
+        b, n = bu.get(cls, 0.0), nu.get(cls, 0.0)
+        drifted = abs(n - b) > tol_util
+        deltas.append(Delta(
+            f"util_{cls}", b, n, regressed=drifted,
+            note=f"|Δ| > {tol_util:.2f}" if drifted else ""))
+    return deltas
+
+
+def regressions(deltas: List[Delta]) -> List[Delta]:
+    return [d for d in deltas if d.regressed]
+
+
+def format_compare(config: str, deltas: List[Delta]) -> str:
+    rows = [(d.metric, f"{d.baseline:.6g}", f"{d.new:.6g}",
+             f"{d.change:+.2%}", "REGRESSED " + d.note if d.regressed else "ok")
+            for d in deltas]
+    return format_table(
+        ["metric", "baseline", "new", "change", "verdict"], rows,
+        title=f"bench compare: {config}")
+
+
+def load_record(path: Union[str, Path]) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_main(argv: List[str]) -> int:
+    """Entry point for ``python -m repro.bench compare`` (0 = gate passed)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Thresholded bench regression gate over two "
+                    "BENCH_<config>.json records.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument("--tol-elapsed", type=float,
+                        default=DEFAULT_TOL_ELAPSED,
+                        help="relative elapsed-time growth allowed "
+                             "(default %(default)s)")
+    parser.add_argument("--tol-imbalance", type=float,
+                        default=DEFAULT_TOL_IMBALANCE,
+                        help="relative imbalance growth allowed "
+                             "(default %(default)s)")
+    parser.add_argument("--tol-util", type=float, default=DEFAULT_TOL_UTIL,
+                        help="absolute per-link-class utilization drift "
+                             "allowed (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    baseline = load_record(args.baseline)
+    new = load_record(args.new)
+    deltas = compare_records(baseline, new,
+                             tol_elapsed=args.tol_elapsed,
+                             tol_imbalance=args.tol_imbalance,
+                             tol_util=args.tol_util)
+    print(format_compare(new["config"], deltas))
+    bad = regressions(deltas)
+    if bad:
+        print(f"\nFAIL: {len(bad)} regression(s): "
+              + ", ".join(d.metric for d in bad))
+        return 1
+    print("\nOK: within thresholds")
+    return 0

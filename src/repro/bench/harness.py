@@ -67,12 +67,15 @@ def build_domain(config: BenchConfig,
                  cost: Optional[CostModel] = None,
                  data_mode: bool = False,
                  trace: bool = False,
-                 sanitize: Optional[bool] = None
+                 sanitize: Optional[bool] = None,
+                 metrics: Optional[bool] = None
                  ) -> Tuple[DistributedDomain, SimCluster]:
     """Construct the simulated machine + realized domain for a config.
 
     ``sanitize=True`` attaches the concurrency sanitizer to the cluster;
     read its findings with ``cluster.finalize()`` after the run.
+    ``metrics=True`` attaches the :mod:`repro.metrics` telemetry bundle;
+    read it from ``cluster.metrics`` after the run.
     """
     node = summit_node(n_gpus=config.gpus_per_node)
     machine = Machine(node=node, n_nodes=config.nodes,
@@ -80,7 +83,8 @@ def build_domain(config: BenchConfig,
                                           nic_port_bandwidth=IB_RAIL_BW,
                                           fabric_latency=FABRIC_LAT))
     cluster = SimCluster.create(machine, cost=cost, data_mode=data_mode,
-                                trace=trace, sanitize=sanitize)
+                                trace=trace, sanitize=sanitize,
+                                metrics=metrics)
     world = MpiWorld.create(cluster, config.ranks_per_node,
                             cuda_aware=config.cuda_aware)
     dd = DistributedDomain(world, size=config.size, radius=Radius.constant(radius),
@@ -145,6 +149,8 @@ def profile_exchange_config(config: BenchConfig,
         dd.exchange()
     if cluster.tracer is not None:
         cluster.tracer.clear()   # drop setup + warm-up spans
+    if cluster.metrics is not None:
+        cluster.metrics.clear()  # counters/events hold measured rounds only
     results = [dd.exchange() for _ in range(reps - 1)]
     results.append(dd.exchange(profile=profile))
     timing = ExchangeTiming(config=config, capabilities=capabilities,

@@ -16,8 +16,12 @@ from typing import TYPE_CHECKING, List, Mapping, Sequence, Tuple, Union
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .harness import ProfiledRun
 
-#: bump when the JSON layout changes incompatibly
-BENCH_SCHEMA = "repro-bench/1"
+#: bump when the JSON layout changes incompatibly.
+#: v2 (this PR): adds ``kind_busy_s`` (interval-merged per-kind busy time),
+#: and — on metrics-enabled runs — ``link_utilization`` (per-link-class
+#: merged busy intervals) and ``metrics`` (the full registry snapshot:
+#: counters, gauges, log2 histograms).
+BENCH_SCHEMA = "repro-bench/2"
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -99,10 +103,17 @@ def bench_record(run: "ProfiledRun") -> dict:
         },
         "utilization": [r.to_dict() for r in rows],
     }
+    if run.cluster.tracer is not None:
+        record["kind_busy_s"] = run.cluster.tracer.busy_time_by_kind()
     if run.profile is not None:
         record["critical_path"] = run.profile.to_dict()
     if run.cluster.sanitizer is not None:
         record["sanitizer"] = run.cluster.finalize().to_dict()
+    if run.cluster.metrics is not None:
+        from ..metrics import link_utilization_summary
+        record["link_utilization"] = link_utilization_summary(
+            run.cluster, extra=world_resources(run.dd.world))
+        record["metrics"] = run.cluster.metrics.snapshot()
     return record
 
 
@@ -111,3 +122,58 @@ def write_bench_json(path: Union[str, Path], record: dict) -> Path:
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
+
+
+#: required top-level keys of a v2 bench record and their types
+_REQUIRED_KEYS = {
+    "schema": str,
+    "config": str,
+    "capabilities": str,
+    "reps": int,
+    "elapsed_s": dict,
+    "imbalance": (int, float),
+    "total_bytes": int,
+    "methods": dict,
+    "utilization": list,
+}
+
+
+def validate_bench_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` is a well-formed v2 record.
+
+    Guards against accidental schema drift: tests validate every record the
+    harness emits, and ``repro.bench compare`` validates both sides before
+    gating, so a silently changed layout fails loudly instead of producing
+    a vacuous comparison.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"bench record must be a dict, got {type(record)}")
+    if record.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {record.get('schema')!r} "
+            f"(expected {BENCH_SCHEMA!r})")
+    for key, typ in _REQUIRED_KEYS.items():
+        if key not in record:
+            raise ValueError(f"bench record missing key {key!r}")
+        if not isinstance(record[key], typ):
+            raise ValueError(
+                f"bench record key {key!r} has type "
+                f"{type(record[key]).__name__}, expected {typ}")
+    for sub in ("mean", "best", "per_rep"):
+        if sub not in record["elapsed_s"]:
+            raise ValueError(f"bench record missing elapsed_s.{sub}")
+    for row in record["utilization"]:
+        for k in ("class", "busy_s", "mean_utilization", "max_utilization"):
+            if k not in row:
+                raise ValueError(f"utilization row missing {k!r}: {row}")
+    for name, m in record["methods"].items():
+        if not {"count", "bytes"} <= set(m):
+            raise ValueError(f"method entry {name!r} missing count/bytes")
+    if "metrics" in record:
+        for name, entry in record["metrics"].items():
+            if "kind" not in entry or "series" not in entry:
+                raise ValueError(f"metric {name!r} missing kind/series")
+    if "link_utilization" in record:
+        for cls, row in record["link_utilization"].items():
+            if not {"busy_s", "union_busy_s", "count"} <= set(row):
+                raise ValueError(f"link_utilization {cls!r} malformed: {row}")

@@ -89,6 +89,9 @@ class CudaContext:
         t = self._task(name=self._label(what), duration=cost,
                        resources=(self.cpu,), deps=all_deps,
                        lane=self.lane, kind="issue")
+        m = self.cluster.metrics
+        if m is not None:
+            m.counter("cuda.api.calls", op=what, lane=self.lane).inc()
         if ordered:
             self._cpu_tail = t
         return t
@@ -108,6 +111,9 @@ class CudaContext:
     def create_stream(self, device: Device) -> Stream:
         """``cudaStreamCreate`` (issue cost charged)."""
         self.issue("streamCreate")
+        m = self.cluster.metrics
+        if m is not None:
+            m.gauge("cuda.streams", device=device.lane).add(1)
         return Stream(device)
 
     def event_record(self, stream: Stream, deps: Sequence[Dep] = ()) -> Event:
@@ -188,6 +194,18 @@ class CudaContext:
                        action=action, lane=dev.lane, kind=kind, bytes=nbytes)
         stream.chain(t)
         self._annotate(t, reads=reads, writes=writes)
+        m = self.cluster.metrics
+        if m is not None:
+            m.counter("cuda.kernel.count", kind=kind, device=dev.lane).inc()
+            m.counter("cuda.kernel.bytes", kind=kind, device=dev.lane).inc(nbytes)
+            if kind in ("pack", "unpack") and duration > 0 and nbytes:
+                # Per-GPU pack/unpack throughput (the paper's Fig. 10 axis).
+                m.histogram("cuda.pack.bytes_per_s", kind=kind,
+                            device=dev.lane).observe(nbytes / duration)
+            t.on_complete(lambda task: m.emit(
+                "cuda.kernel", kind=kind, device=dev.lane, op=task.name,
+                bytes=nbytes, start=task.start_time,
+                queue_wait=task.queue_wait))
         return t
 
     # -- copies -----------------------------------------------------------------------
@@ -234,6 +252,18 @@ class CudaContext:
         self._annotate(t,
                        reads=() if src_buf is None else (src_buf,),
                        writes=() if dst_buf is None else (dst_buf,))
+        m = self.cluster.metrics
+        if m is not None:
+            dev = stream.device.lane
+            m.counter("cuda.memcpy.count", kind=kind, device=dev).inc()
+            m.counter("cuda.memcpy.bytes", kind=kind, device=dev).inc(nbytes)
+            if duration > 0 and nbytes:
+                m.histogram("cuda.memcpy.bytes_per_s",
+                            kind=kind).observe(nbytes / duration)
+            t.on_complete(lambda task: m.emit(
+                "cuda.memcpy", kind=kind, device=dev, op=task.name,
+                bytes=nbytes, start=task.start_time,
+                queue_wait=task.queue_wait))
         return t
 
     def _copy_d2h(self, dst: PinnedBuffer, src: DeviceBuffer,

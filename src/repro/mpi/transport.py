@@ -53,6 +53,7 @@ class _SendEntry:
     nbytes: int
     issue: Task
     inject: Optional[Task] = None     # eager: set once the payload is in flight
+    posted_at: float = 0.0            # stamped when metrics are enabled
 
 
 @dataclass
@@ -64,6 +65,7 @@ class _RecvEntry:
     payload: Any                      # DeviceBuffer | PinnedBuffer | None
     capacity: int
     issue: Task
+    posted_at: float = 0.0            # stamped when metrics are enabled
 
 
 def _payload_nbytes(payload: Any) -> int:
@@ -84,25 +86,44 @@ class Transport:
         self.bytes_delivered = 0
 
     # -- posting -------------------------------------------------------------
+    def _queue_gauge(self, side: str, rank: "Rank", delta: int) -> None:
+        """Track per-rank pending send/recv queue depth (with peak)."""
+        m = self.world.cluster.metrics
+        if m is not None:
+            m.gauge("mpi.queue_depth", side=side,
+                    rank=rank.index).add(delta)
+
     def submit_send(self, entry: _SendEntry) -> None:
+        m = self.world.cluster.metrics
+        if m is not None:
+            entry.posted_at = self.world.cluster.engine.now
         key = (entry.rank.index, entry.dest, entry.tag)
         rq = self._recvs.get(key)
         if rq:
-            self._match(entry, rq.popleft())
+            recv = rq.popleft()
+            self._queue_gauge("recv", recv.rank, -1)
+            self._match(entry, recv)
             return
         if self._is_eager(entry):
             # Eager protocol: inject toward the receiver's unexpected-message
             # buffer now; the send request completes without a matching recv.
             self._eager_inject(entry)
         self._sends.setdefault(key, deque()).append(entry)
+        self._queue_gauge("send", entry.rank, +1)
 
     def post_recv(self, entry: _RecvEntry) -> None:
+        m = self.world.cluster.metrics
+        if m is not None:
+            entry.posted_at = self.world.cluster.engine.now
         key = (entry.source, entry.rank.index, entry.tag)
         sq = self._sends.get(key)
         if sq:
-            self._match(sq.popleft(), entry)
+            send = sq.popleft()
+            self._queue_gauge("send", send.rank, -1)
+            self._match(send, entry)
         else:
             self._recvs.setdefault(key, deque()).append(entry)
+            self._queue_gauge("recv", entry.rank, +1)
 
     def unmatched(self) -> List[str]:
         """Labels of never-matched sends/recvs (deadlock diagnostics)."""
@@ -122,7 +143,39 @@ class Transport:
             return True   # object messages are tiny
         return s.nbytes <= self.world.cluster.cost.rendezvous_threshold
 
+    def _record_match(self, s: _SendEntry, r: _RecvEntry) -> None:
+        """Counters/histograms/event for one matched message pair."""
+        m = self.world.cluster.metrics
+        if m is None:
+            return
+        eager = self._is_eager(s)
+        protocol = "eager" if eager else "rendezvous"
+        if s.rank is r.rank:
+            scope = "self"
+        elif s.rank.node is r.rank.node:
+            scope = "intra"
+        else:
+            scope = "inter"
+        if isinstance(s.payload, DeviceBuffer):
+            buffer = "device"
+        elif isinstance(s.payload, PinnedBuffer):
+            buffer = "host"
+        else:
+            buffer = "object"
+        m.counter("mpi.messages", protocol=protocol, scope=scope,
+                  buffer=buffer).inc()
+        m.counter("mpi.bytes", protocol=protocol, scope=scope,
+                  buffer=buffer).inc(s.nbytes)
+        m.histogram("mpi.message_bytes", protocol=protocol).observe(s.nbytes)
+        # How long the first-posted side sat in the match queue.
+        now = self.world.cluster.engine.now
+        m.histogram("mpi.match_latency_s", scope=scope).observe(
+            now - min(s.posted_at, r.posted_at))
+        m.emit("mpi.match", send=s.request.label, recv=r.request.label,
+               bytes=s.nbytes, protocol=protocol, scope=scope)
+
     def _match(self, s: _SendEntry, r: _RecvEntry) -> None:
+        self._record_match(s, r)
         san = self.world.cluster.sanitizer
         if san is not None:
             both = (isinstance(s.payload, (DeviceBuffer, PinnedBuffer))
@@ -245,6 +298,10 @@ class Transport:
         r.request._complete(eng, status, data=data, source=source)
         self.messages_delivered += 1
         self.bytes_delivered += s.nbytes
+        m = self.world.cluster.metrics
+        if m is not None:
+            m.emit("mpi.deliver", send=s.request.label,
+                   recv=r.request.label, bytes=s.nbytes)
 
     def _copy_action(self, s: _SendEntry, r: _RecvEntry):
         if isinstance(s.payload, (DeviceBuffer, PinnedBuffer)) and \

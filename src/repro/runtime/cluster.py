@@ -128,6 +128,8 @@ class SimCluster:
         self.tracer = tracer
         #: attached :class:`repro.sanitize.Sanitizer`, or None (the default)
         self.sanitizer = None
+        #: attached :class:`repro.metrics.Metrics`, or None (the default)
+        self.metrics = None
         #: every MpiWorld built over this cluster (for sanitizer finalize)
         self.worlds: List["MpiWorld"] = []  # noqa: F821 - set by MpiWorld
         self.nodes: List[SimNode] = [SimNode(self, i)
@@ -136,7 +138,8 @@ class SimCluster:
     @classmethod
     def create(cls, machine: Machine, cost: Optional[CostModel] = None,
                data_mode: bool = True, trace: bool = False,
-               sanitize: Optional[bool] = None) -> "SimCluster":
+               sanitize: Optional[bool] = None,
+               metrics: Optional[bool] = None) -> "SimCluster":
         """Build a cluster; ``trace=True`` records a full timeline.
 
         ``sanitize=True`` attaches a :class:`repro.sanitize.Sanitizer`
@@ -144,6 +147,12 @@ class SimCluster:
         read its findings with :meth:`finalize`.  The default (``None``)
         consults the ``REPRO_SANITIZE`` environment variable, so CI can
         run the whole suite sanitized without touching call sites.
+
+        ``metrics=True`` attaches a :class:`repro.metrics.Metrics` bundle
+        (counter/gauge/histogram registry plus a virtual-time event log)
+        and turns on per-resource busy-interval recording; the default
+        (``None``) consults ``REPRO_METRICS``.  Disabled, the
+        instrumentation costs one attribute check per call site.
         """
         from ..cuda.device import Device  # deferred: cuda imports runtime types
         cluster = cls(machine, cost or CostModel(), data_mode,
@@ -156,6 +165,12 @@ class SimCluster:
         if sanitize:
             from ..sanitize import Sanitizer  # deferred: sanitize imports sim
             cluster.sanitizer = Sanitizer(cluster)
+        if metrics is None:
+            metrics = os.environ.get("REPRO_METRICS", "") not in ("", "0")
+        if metrics:
+            from ..metrics import Metrics  # deferred: metrics imports sim
+            cluster.metrics = Metrics(cluster.engine)
+            cluster.engine.record_intervals = True
         cluster_registry.add(cluster)
         return cluster
 

@@ -20,7 +20,7 @@ The model is deliberately simple and deterministic:
 from .engine import Engine
 from .resources import Resource, AcquireRequest
 from .tasks import Task, Signal
-from .trace import Tracer, Span
+from .trace import Tracer, Span, merge_intervals
 from .profile import (
     CriticalPathReport,
     PathSegment,
@@ -36,6 +36,7 @@ __all__ = [
     "Signal",
     "Tracer",
     "Span",
+    "merge_intervals",
     "CriticalPathReport",
     "PathSegment",
     "critical_path",

@@ -136,6 +136,33 @@ def format_utilization(rows: List[UtilizationRow]) -> str:
     return "\n".join(lines)
 
 
+def kind_times_report(tracer: Tracer) -> List[Tuple[str, float, float, float]]:
+    """Per-kind ``(kind, busy_s, total_s, concurrency)`` rows, sorted by
+    merged busy time descending.
+
+    ``busy_s`` is interval-merged (:meth:`Tracer.busy_time_by_kind` — wall
+    time some span of the kind was active); ``total_s`` is the naive sum
+    (:meth:`Tracer.total_time_by_kind`); their ratio is the kind's achieved
+    concurrency (1.0 = fully serialized).
+    """
+    busy = tracer.busy_time_by_kind()
+    total = tracer.total_time_by_kind()
+    rows = [(k, busy[k], total[k], (total[k] / busy[k]) if busy[k] > 0 else 0.0)
+            for k in busy]
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    return rows
+
+
+def format_kind_times(tracer: Tracer) -> str:
+    """Text table of :func:`kind_times_report` (cf. the Fig. 9 narrative)."""
+    lines = [f"{'kind':<10} {'busy(ms)':>10} {'sum(ms)':>10} {'overlap':>8}",
+             "-" * 42]
+    for kind, busy, total, conc in kind_times_report(tracer):
+        lines.append(f"{kind:<10} {busy * 1e3:>10.3f} {total * 1e3:>10.3f} "
+                     f"{conc:>7.2f}x")
+    return "\n".join(lines)
+
+
 def _split_lane(lane: str) -> Tuple[str, str]:
     """Lane name → (process, thread) for the Chrome trace viewer.
 
@@ -150,7 +177,55 @@ def _split_lane(lane: str) -> Tuple[str, str]:
     return head, rest
 
 
-def trace_to_chrome_json(tracer: Tracer, indent: Optional[int] = None) -> str:
+def _counter_events(cluster: "SimCluster",
+                    extra: Optional[List[Resource]], pid: int) -> List[dict]:
+    """Perfetto counter tracks (``"ph": "C"``) from recorded telemetry.
+
+    Two families: per-resource-class *occupancy* step functions derived
+    from busy intervals (requires metrics-enabled runs, which record
+    intervals), and cumulative *bytes* series derived from the metrics
+    event log (MPI deliveries and memcpys by kind).
+    """
+    from ..metrics.timeline import busy_intervals  # lazy: metrics uses sim
+    events: List[dict] = [{"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": "counters"}}]
+    # Occupancy per class: +1/-1 edges over all busy intervals.
+    edges: Dict[str, List[Tuple[float, int]]] = {}
+    for r in _iter_cluster_resources(cluster) + list(extra or []):
+        cls = classify_resource(r.name)
+        for a, b in busy_intervals(r, now=cluster.now):
+            edges.setdefault(cls, []).append((a, +1))
+            edges[cls].append((b, -1))
+    for cls in sorted(edges):
+        level, last_t = 0, None
+        for t, d in sorted(edges[cls]):
+            if last_t is not None and t > last_t:
+                events.append({"ph": "C", "name": f"busy/{cls}", "pid": pid,
+                               "ts": last_t * 1e6, "args": {"n": level}})
+            level += d
+            last_t = t
+        if last_t is not None:
+            events.append({"ph": "C", "name": f"busy/{cls}", "pid": pid,
+                           "ts": last_t * 1e6, "args": {"n": level}})
+    # Cumulative bytes from the event log.
+    if cluster.metrics is not None:
+        totals: Dict[str, int] = {}
+        for e in cluster.metrics.events.events:
+            if e["event"] == "mpi.deliver":
+                name = "bytes/mpi"
+            elif e["event"] == "cuda.memcpy":
+                name = f"bytes/{e['kind']}"
+            else:
+                continue
+            totals[name] = totals.get(name, 0) + int(e["bytes"])
+            events.append({"ph": "C", "name": name, "pid": pid,
+                           "ts": e["t"] * 1e6, "args": {"n": totals[name]}})
+    return events
+
+
+def trace_to_chrome_json(tracer: Tracer, indent: Optional[int] = None,
+                         cluster: Optional["SimCluster"] = None,
+                         extra: Optional[List[Resource]] = None) -> str:
     """Serialize spans as Chrome ``trace_event`` JSON (Perfetto-loadable).
 
     Open the output at https://ui.perfetto.dev (or ``chrome://tracing``):
@@ -158,6 +233,11 @@ def trace_to_chrome_json(tracer: Tracer, indent: Optional[int] = None) -> str:
     complete event (``"ph": "X"``) with microsecond timestamps and ``args``
     carrying the operation kind, payload bytes, and resource queue-wait so
     the per-span detail pane answers "why did this start late".
+
+    Passing ``cluster`` (with ``extra`` admitting world-owned resources)
+    additionally emits counter tracks — per-class busy occupancy and
+    cumulative transferred bytes — under a dedicated "counters" process;
+    these are populated on metrics-enabled runs.
     """
     pids: Dict[str, int] = {}
     tids: Dict[str, Tuple[int, int]] = {}
@@ -190,6 +270,8 @@ def trace_to_chrome_json(tracer: Tracer, indent: Optional[int] = None) -> str:
                 "queue_wait_us": span.queue_wait * 1e6,
             },
         })
+    if cluster is not None:
+        events.extend(_counter_events(cluster, extra, pid=len(pids) + 1))
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
                       indent=indent)
 

@@ -33,7 +33,7 @@ class Engine:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_running", "_events_processed",
-                 "retain_dag", "max_events", "observer")
+                 "retain_dag", "max_events", "observer", "record_intervals")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -54,6 +54,10 @@ class Engine:
         #: (``task_started(task)``) and of each run to quiescence
         #: (``on_quiescence()``).
         self.observer = None
+        #: when True, every Resource appends its busy episodes to
+        #: ``Resource.intervals`` — the raw material for the metrics
+        #: layer's per-link utilization timelines.  Off by default.
+        self.record_intervals: bool = False
 
     # -- clock ----------------------------------------------------------------
     @property

@@ -13,6 +13,25 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
+def merge_intervals(intervals: Sequence[Tuple[float, float]]
+                    ) -> List[Tuple[float, float]]:
+    """Union of half-open time intervals: sorted, overlaps coalesced.
+
+    Empty and inverted intervals are dropped.  Shared by the per-kind busy
+    accounting here and the per-link timelines in
+    :mod:`repro.metrics.timeline`.
+    """
+    ivals = sorted((a, b) for a, b in intervals if b > a)
+    out: List[Tuple[float, float]] = []
+    for a, b in ivals:
+        if out and a <= out[-1][1]:
+            if b > out[-1][1]:
+                out[-1] = (out[-1][0], b)
+        else:
+            out.append((a, b))
+    return out
+
+
 @dataclass(frozen=True, slots=True)
 class Span:
     """One operation on the timeline."""
@@ -65,10 +84,29 @@ class Tracer:
         return out
 
     def total_time_by_kind(self) -> Dict[str, float]:
-        """Summed span durations per kind (overlap not deduplicated)."""
+        """Summed span durations per kind (overlap not deduplicated).
+
+        Two concurrent 1 ms packs report 2 ms here; prefer
+        :meth:`busy_time_by_kind` for "how long was *some* pack running"
+        questions.
+        """
         out: Dict[str, float] = {}
         for s in self.spans:
             out[s.kind] = out.get(s.kind, 0.0) + s.duration
+        return out
+
+    def busy_time_by_kind(self) -> Dict[str, float]:
+        """Interval-merged busy seconds per kind (overlap deduplicated).
+
+        The wall-clock time during which at least one span of each kind was
+        active — two concurrent 1 ms packs report 1 ms.  The ratio
+        ``total_time_by_kind / busy_time_by_kind`` is the kind's achieved
+        concurrency.
+        """
+        out: Dict[str, float] = {}
+        for kind, spans in self.by_kind().items():
+            merged = merge_intervals([(s.start, s.end) for s in spans])
+            out[kind] = sum(b - a for a, b in merged)
         return out
 
     def makespan(self) -> float:
@@ -134,6 +172,12 @@ def render_gantt(tracer: Tracer, width: int = 100,
     for lane in lanes:
         row = [" "] * width
         for s in sorted(tracer.spans_in_lane(lane), key=lambda s: s.start):
+            if s.end <= t0 or s.start >= t1:
+                # Entirely outside the requested window: skip rather than
+                # clamp onto a chart edge.  Zero-duration spans sitting
+                # exactly on a boundary still get their one character.
+                if not (s.start == s.end and t0 <= s.start <= t1):
+                    continue
             a = max(0, min(width - 1, int((s.start - t0) * scale)))
             b = max(a + 1, min(width, int((s.end - t0) * scale + 0.5)))
             ch = _GANTT_CHARS.get(s.kind, "#")

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
+from repro.bench.reporting import BENCH_SCHEMA
 
 
 class TestCli:
@@ -63,7 +64,7 @@ class TestConfigRuns:
         assert "critical path:" in out and "by resource class" in out
 
         record = json.loads(json_path.read_text())
-        assert record["schema"] == "repro-bench/1"
+        assert record["schema"] == BENCH_SCHEMA
         assert record["config"] == "1n/2r/2g/128"
         assert record["elapsed_s"]["mean"] > 0
         # ISSUE acceptance bar: the critical path accounts for >= 95%.

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Engine, Task, Tracer
-from repro.sim.trace import render_gantt
+from repro.sim.trace import merge_intervals, render_gantt
 
 
 def traced(eng, tracer, name, dur, lane, kind, deps=()):
@@ -83,6 +83,46 @@ class TestTracer:
         assert [r[0] for r in tr.to_rows()] == ["a", "z"]
 
 
+class TestMergeIntervals:
+    def test_disjoint_stay_disjoint(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlap_and_touching_coalesce(self):
+        assert merge_intervals([(0, 2), (1, 3), (3, 4)]) == [(0, 4)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_empty_and_inverted_dropped(self):
+        assert merge_intervals([(1, 1), (3, 2)]) == []
+        assert merge_intervals([]) == []
+
+    def test_nested_absorbed(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+
+class TestBusyTimeByKind:
+    def test_concurrent_spans_not_double_counted(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "a", 2.0, "g", "pack")
+        traced(eng, tr, "b", 2.0, "h", "pack")       # fully concurrent
+        eng.run()
+        assert tr.total_time_by_kind()["pack"] == pytest.approx(4.0)
+        assert tr.busy_time_by_kind()["pack"] == pytest.approx(2.0)
+
+    def test_serialized_matches_total(self):
+        eng, tr = Engine(), Tracer()
+        a = traced(eng, tr, "a", 1.0, "g", "mpi")
+        traced(eng, tr, "b", 2.0, "g", "mpi", deps=[a])
+        eng.run()
+        assert tr.busy_time_by_kind()["mpi"] == pytest.approx(3.0)
+        assert tr.busy_time_by_kind()["mpi"] == pytest.approx(
+            tr.total_time_by_kind()["mpi"])
+
+    def test_empty(self):
+        assert Tracer().busy_time_by_kind() == {}
+
+
 class TestGantt:
     def test_renders_all_lanes(self):
         eng, tr = Engine(), Tracer()
@@ -126,3 +166,34 @@ class TestGantt:
         traced(eng, tr, "a", 1.0, "g", "weird-kind")
         eng.run()
         assert "#" in render_gantt(tr, width=20)
+
+    def test_time_range_excludes_outside_spans(self):
+        # Regression: spans entirely outside an explicit time_range used to
+        # be clamped onto the chart edges instead of dropped.
+        eng, tr = Engine(), Tracer()
+        a = traced(eng, tr, "early", 1.0, "g", "pack")
+        b = traced(eng, tr, "inside", 1.0, "g", "mpi", deps=[a])
+        traced(eng, tr, "late", 1.0, "g", "kernel", deps=[b])
+        eng.run()
+        chart = render_gantt(tr, width=30,
+                             time_range=(1.0, 2.0)).split("legend")[0]
+        assert "M" in chart            # the in-window span
+        assert "P" not in chart        # ended exactly at the window start
+        assert "K" not in chart        # starts exactly at the window end
+
+    def test_time_range_clips_straddling_span(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "long", 10.0, "g", "pack")
+        eng.run()
+        out = render_gantt(tr, width=20, time_range=(4.0, 6.0))
+        row = out.split("\n")[1]
+        # The span covers the whole window; it must fill the row, not
+        # vanish or collapse onto one edge.
+        assert row.count("P") == 20
+
+    def test_time_range_keeps_zero_duration_boundary_span(self):
+        eng, tr = Engine(), Tracer()
+        traced(eng, tr, "instant", 0.0, "g", "sync")
+        eng.run()
+        out = render_gantt(tr, width=20, time_range=(0.0, 1.0))
+        assert "s" in out.split("legend")[0]
