@@ -18,6 +18,7 @@ Quick start::
 from .dim3 import Dim3
 from .radius import Radius
 from .errors import (
+    AnalysisError,
     CapabilityError,
     ConfigurationError,
     CudaError,
@@ -80,5 +81,6 @@ __all__ = [
     "MpiError",
     "DeadlockError",
     "CapabilityError",
+    "AnalysisError",
     "__version__",
 ]

@@ -1,0 +1,283 @@
+"""Pass 2 — AST rules for the determinism lint.
+
+Each rule encodes a bug class this repository has actually hit (or is
+structurally exposed to) in its deterministic discrete-event substrate:
+
+* ``truthy-time`` — the falsy-zero bug family: virtual time starts at
+  ``0.0``, so ``if task.start_time:`` or ``t or 0.0`` silently treats a
+  perfectly valid t=0 timestamp as "unset".  The fixed idiom is an
+  explicit ``is None`` check.
+* ``wall-clock`` — ``time.time()`` / ``datetime.now()`` inside the
+  simulated substrate leaks host time into virtual time, breaking both
+  determinism and reproducibility of traces.
+* ``unseeded-random`` — module-level ``random.*`` calls share global
+  state across the whole process; simulation code must use a seeded
+  ``random.Random`` instance so runs replay bit-identically.
+* ``unwaited-request`` — an ``isend``/``irecv`` whose request is
+  discarded (or bound to a name that is never read again) can never be
+  waited on; at best the sanitizer reports a leak at finalize, at worst
+  the exchange completes on garbage ordering.
+* ``unordered-iter`` — iterating a ``set`` literal/comprehension/call
+  feeds nondeterministic order into whatever the loop does (task
+  submission, tag assignment, trace emission); sort first.
+
+Rules are plain :class:`ast.NodeVisitor` subclasses returning
+:class:`RuleFinding` records; :mod:`repro.analyze.lint` drives them over
+files and applies ``# lint: ignore[...]`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Type
+
+#: names (attribute or variable) treated as virtual-time-valued
+TIME_SUFFIXES = ("_time", "_at")
+TIME_NAMES = frozenset({"duration", "elapsed", "t0", "t1", "timestamp",
+                        "deadline", "finish", "start_time", "finish_time"})
+
+#: ``(module, function)`` tails that read the host clock
+WALL_CLOCK_CALLS = frozenset({
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "process_time"), ("time", "process_time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+#: ``random.<attr>`` accesses that are fine (instantiating a seeded
+#: generator, or explicitly re-seeding the global one in a test fixture)
+RANDOM_OK = frozenset({"Random", "SystemRandom", "seed", "getstate",
+                       "setstate"})
+
+
+@dataclass(frozen=True)
+class RuleFinding:
+    """One rule violation at one source line."""
+
+    rule: str
+    line: int
+    message: str
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: a named visitor that accumulates findings."""
+
+    name: str = ""
+    #: when set, the rule only applies inside these subpackages of the
+    #: ``repro`` package (the deterministic substrate); files outside a
+    #: ``repro`` package tree (e.g. lint fixtures) are always checked
+    packages: Optional[Tuple[str, ...]] = None
+
+    def __init__(self) -> None:
+        self.found: List[RuleFinding] = []
+
+    def emit(self, node: ast.AST, message: str) -> None:
+        self.found.append(RuleFinding(self.name, node.lineno, message))
+
+    def run(self, tree: ast.AST) -> List[RuleFinding]:
+        self.visit(tree)
+        return self.found
+
+
+def _tail_name(node: ast.expr) -> Optional[str]:
+    """The final identifier of a name or dotted attribute, else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted_parts(node: ast.expr) -> Tuple[str, ...]:
+    """``a.b.c`` → ``("a", "b", "c")``; empty if not a plain dotted name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def is_time_valued(node: ast.expr) -> bool:
+    """Whether an expression reads like a virtual-time value."""
+    name = _tail_name(node)
+    if name is None:
+        return False
+    return name.endswith(TIME_SUFFIXES) or name in TIME_NAMES
+
+
+class TruthyTime(Rule):
+    """Truthiness tests on time-valued expressions (the falsy-zero bug)."""
+
+    name = "truthy-time"
+
+    def _report(self, node: ast.expr, context: str) -> None:
+        self.emit(node, f"time-valued `{ast.unparse(node)}` {context}; "
+                        f"t=0.0 is a valid virtual time but tests falsy — "
+                        f"compare `is None` explicitly")
+
+    def _check_test(self, test: ast.expr) -> None:
+        if is_time_valued(test):
+            self._report(test, "used as a truth test")
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not) \
+                and is_time_valued(test.operand):
+            self._report(test.operand, "used under `not`")
+
+    def visit_If(self, node: ast.If) -> None:
+        self._check_test(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_test(node.test)
+        self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._check_test(node.test)
+        self.generic_visit(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._check_test(node.test)
+        self.generic_visit(node)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        # In `a or b` / `a and b`, every operand but the last is
+        # truth-tested; `t or 0.0` is the canonical falsy-zero default.
+        for operand in node.values[:-1]:
+            if is_time_valued(operand):
+                kind = "or" if isinstance(node.op, ast.Or) else "and"
+                self._report(operand, f"short-circuited by `{kind}`")
+        self.generic_visit(node)
+
+
+class WallClock(Rule):
+    """Host-clock reads inside the simulated substrate."""
+
+    name = "wall-clock"
+    packages = ("sim", "cuda", "mpi")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = _dotted_parts(node.func)
+        if len(parts) >= 2 and parts[-2:] in WALL_CLOCK_CALLS:
+            self.emit(node, f"`{'.'.join(parts)}()` reads the host clock "
+                            f"inside the simulated substrate; use the "
+                            f"engine's virtual time")
+        self.generic_visit(node)
+
+
+class UnseededRandom(Rule):
+    """Global-state ``random.*`` calls inside the simulated substrate."""
+
+    name = "unseeded-random"
+    packages = ("sim", "cuda", "mpi")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = _dotted_parts(node.func)
+        if len(parts) == 2 and parts[0] == "random" \
+                and parts[1] not in RANDOM_OK:
+            self.emit(node, f"`random.{parts[1]}()` uses the shared global "
+                            f"generator; use a seeded `random.Random` "
+                            f"instance for replayable runs")
+        self.generic_visit(node)
+
+
+class UnwaitedRequest(Rule):
+    """``isend``/``irecv`` requests that can never be completed on."""
+
+    name = "unwaited-request"
+
+    _REQ_CALLS = ("isend", "irecv")
+
+    def _is_req_call(self, node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._REQ_CALLS)
+
+    def _check_function(self, fn: ast.AST) -> None:
+        assigned: Dict[str, ast.AST] = {}
+        loads: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Expr) and self._is_req_call(node.value):
+                call = node.value
+                self.emit(call, f"`{call.func.attr}` request discarded; it "
+                                f"can never be waited, tested, or freed")
+            elif isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and self._is_req_call(node.value):
+                assigned.setdefault(node.targets[0].id, node.value)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+        for name, call in assigned.items():
+            if name not in loads:
+                self.emit(call, f"request `{name}` from "
+                                f"`{call.func.attr}` is never read again in "
+                                f"this function — nothing can wait on it")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        # Nested defs are covered by the enclosing walk; no generic_visit
+        # to avoid re-reporting them.
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class UnorderedIter(Rule):
+    """Iteration over sets: nondeterministic order feeds event ordering."""
+
+    name = "unordered-iter"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._set_names: Set[str] = set()
+
+    def _check_iter(self, it: ast.expr) -> None:
+        if _is_set_expr(it):
+            self.emit(it, "iterating a set: order varies run to run; wrap "
+                          "in `sorted(...)` before anything order-sensitive")
+        elif isinstance(it, ast.Name) and it.id in self._set_names:
+            self.emit(it, f"iterating `{it.id}`, which is bound to a set; "
+                          f"order varies run to run — wrap in `sorted(...)`")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            if isinstance(t, ast.Name):
+                if _is_set_expr(node.value):
+                    self._set_names.add(t.id)
+                else:
+                    self._set_names.discard(t.id)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+#: every rule, by name — the linter's registry
+ALL_RULES: Dict[str, Type[Rule]] = {
+    cls.name: cls
+    for cls in (TruthyTime, WallClock, UnseededRandom, UnwaitedRequest,
+                UnorderedIter)
+}

@@ -68,14 +68,17 @@ def build_domain(config: BenchConfig,
                  data_mode: bool = False,
                  trace: bool = False,
                  sanitize: Optional[bool] = None,
-                 metrics: Optional[bool] = None
+                 metrics: Optional[bool] = None,
+                 precheck: Optional[bool] = None
                  ) -> Tuple[DistributedDomain, SimCluster]:
     """Construct the simulated machine + realized domain for a config.
 
     ``sanitize=True`` attaches the concurrency sanitizer to the cluster;
     read its findings with ``cluster.finalize()`` after the run.
     ``metrics=True`` attaches the :mod:`repro.metrics` telemetry bundle;
-    read it from ``cluster.metrics`` after the run.
+    read it from ``cluster.metrics`` after the run.  ``precheck=True``
+    statically verifies the exchange plan during ``realize()``
+    (:func:`repro.analyze.analyze_plan`), raising before launch.
     """
     node = summit_node(n_gpus=config.gpus_per_node)
     machine = Machine(node=node, n_nodes=config.nodes,
@@ -84,7 +87,7 @@ def build_domain(config: BenchConfig,
                                           fabric_latency=FABRIC_LAT))
     cluster = SimCluster.create(machine, cost=cost, data_mode=data_mode,
                                 trace=trace, sanitize=sanitize,
-                                metrics=metrics)
+                                metrics=metrics, precheck=precheck)
     world = MpiWorld.create(cluster, config.ranks_per_node,
                             cuda_aware=config.cuda_aware)
     dd = DistributedDomain(world, size=config.size, radius=Radius.constant(radius),

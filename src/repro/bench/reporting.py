@@ -17,10 +17,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .harness import ProfiledRun
 
 #: bump when the JSON layout changes incompatibly.
-#: v2 (this PR): adds ``kind_busy_s`` (interval-merged per-kind busy time),
+#: v2: adds ``kind_busy_s`` (interval-merged per-kind busy time),
 #: and — on metrics-enabled runs — ``link_utilization`` (per-link-class
 #: merged busy intervals) and ``metrics`` (the full registry snapshot:
-#: counters, gauges, log2 histograms).
+#: counters, gauges, log2 histograms).  Later additions are
+#: backward-compatible optional sections: ``plan`` (static plan-analyzer
+#: verdict + message-graph summary, see :mod:`repro.analyze`).
 BENCH_SCHEMA = "repro-bench/2"
 
 
@@ -76,6 +78,7 @@ def bench_filename(config_label: str) -> str:
 
 def bench_record(run: "ProfiledRun") -> dict:
     """The diffable JSON record for one profiled configuration."""
+    from ..analyze import plan_section
     from ..sim.analysis import utilization_report, world_resources
 
     timing = run.timing
@@ -114,6 +117,7 @@ def bench_record(run: "ProfiledRun") -> dict:
         record["link_utilization"] = link_utilization_summary(
             run.cluster, extra=world_resources(run.dd.world))
         record["metrics"] = run.cluster.metrics.snapshot()
+    record["plan"] = plan_section(run.dd)
     return record
 
 
@@ -177,3 +181,22 @@ def validate_bench_record(record: dict) -> None:
         for cls, row in record["link_utilization"].items():
             if not {"busy_s", "union_busy_s", "count"} <= set(row):
                 raise ValueError(f"link_utilization {cls!r} malformed: {row}")
+    if "plan" in record:
+        plan = record["plan"]
+        if plan.get("verdict") not in ("ok", "findings"):
+            raise ValueError(f"plan verdict malformed: {plan.get('verdict')!r}")
+        if not isinstance(plan.get("findings"), int):
+            raise ValueError("plan.findings must be an int")
+        graph = plan.get("message_graph")
+        if not isinstance(graph, dict):
+            raise ValueError("plan.message_graph must be a dict")
+        for k in ("transfers", "total_bytes", "by_method", "by_scope",
+                  "mpi_by_scope", "mpi_messages", "messages_saved"):
+            if k not in graph:
+                raise ValueError(f"plan.message_graph missing {k!r}")
+        for section in ("by_method", "by_scope", "mpi_by_scope"):
+            for name, row in graph[section].items():
+                if not {"count", "bytes"} <= set(row):
+                    raise ValueError(
+                        f"plan.message_graph.{section}[{name!r}] missing "
+                        f"count/bytes")

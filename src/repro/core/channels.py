@@ -47,9 +47,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .distributed import DistributedDomain, Subdomain
 
 #: tag space layout: exchange tags below, setup-handshake tags above
-_SETUP_TAG_BASE = 1 << 24
+SETUP_TAG_BASE = 1 << 24
+_SETUP_TAG_BASE = SETUP_TAG_BASE
 
 _DIR_INDEX = {d.as_tuple(): i for i, d in enumerate(ALL_DIRECTIONS)}
+
+
+def channel_tag(src_linear_id: int, direction: Dim3) -> int:
+    """The MPI tag of the channel sending from subdomain ``src_linear_id``
+    toward ``direction``.
+
+    Pure function of the plan — exposed so :mod:`repro.analyze` can build
+    the static message graph (and check tag-space disjointness) without
+    constructing channels.
+    """
+    return src_linear_id * len(ALL_DIRECTIONS) + _DIR_INDEX[direction.as_tuple()]
 
 
 @dataclass
@@ -79,8 +91,7 @@ class Channel:
                 f"{self.recv_reg.extent} for dir {direction}: neighboring "
                 f"subdomains disagree on the shared face")
         self.nbytes = src.domain.region_nbytes(self.send_reg)
-        self.tag = src.linear_id * len(ALL_DIRECTIONS) \
-            + _DIR_INDEX[direction.as_tuple()]
+        self.tag = channel_tag(src.linear_id, direction)
         # Populated by setup():
         self.s_src: Optional[Stream] = None
         self.s_dst: Optional[Stream] = None

@@ -36,7 +36,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..mpi.world import Rank
 
 #: tag space for consolidated rank-pair messages (above channel tags)
-_GROUP_TAG_BASE = 1 << 22
+GROUP_TAG_BASE = 1 << 22
+_GROUP_TAG_BASE = GROUP_TAG_BASE
+
+
+def group_tag(src_rank: int, dst_rank: int, world_size: int) -> int:
+    """The MPI tag of the consolidated rank-pair message src→dst.
+
+    Pure function of the plan, exposed for :mod:`repro.analyze`.
+    """
+    return GROUP_TAG_BASE + src_rank * world_size + dst_rank
 
 
 class ConsolidatedGroup:
@@ -58,9 +67,8 @@ class ConsolidatedGroup:
             ch.group = self
         self.members = members
         self.total_bytes = sum(ch.nbytes for ch in members)
-        self.tag = (_GROUP_TAG_BASE
-                    + self.src_rank.index * self.src_rank.world.size
-                    + self.dst_rank.index)
+        self.tag = group_tag(self.src_rank.index, self.dst_rank.index,
+                             self.src_rank.world.size)
         self.pin_send: Optional[PinnedBuffer] = None
         self.pin_recv: Optional[PinnedBuffer] = None
         # Per-round state:

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..dim3 import Dim3
-from ..errors import ConfigurationError
+from ..errors import AnalysisError, ConfigurationError
 from ..mpi.world import MpiWorld, Rank
 from ..radius import Radius
 from ..cuda.device import Device
@@ -207,6 +207,15 @@ class DistributedDomain:
 
         self.plan = ExchangePlan(self,
                                  consolidate_remote=self.consolidate_remote)
+        if self.cluster.precheck:
+            # Static verification between plan construction and setup: a
+            # broken plan must never allocate buffers or post handshakes.
+            from ..analyze import analyze_plan  # deferred: analyze imports core
+            report = analyze_plan(self)
+            if not report.ok:
+                raise AnalysisError(
+                    f"exchange plan failed static verification:\n"
+                    f"{report.summary()}")
         self.plan.setup()
         self._realized = True
         return self

@@ -67,3 +67,12 @@ class TruncationError(MpiError):
 
 class CapabilityError(ReproError):
     """No enabled exchange method can service a required transfer."""
+
+
+class AnalysisError(ReproError):
+    """The static plan analyzer found a broken exchange plan.
+
+    Raised by the ``precheck`` hook before anything is launched: the plan
+    would mis-cover a halo, collide tags, use an illegal method, or risk
+    deadlock — all decidable without running the engine.
+    """

@@ -33,6 +33,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.cluster import SimCluster, SimNode
 
 
+def rank_index_for_gpu(node_index: int, local_gpu: int,
+                       ranks_per_node: int, gpus_per_node: int) -> int:
+    """The world rank index owning a node-local GPU.
+
+    Pure function of the (node-major, even-split) rank layout — the static
+    form of :meth:`MpiWorld.rank_of_device`, exposed so
+    :mod:`repro.analyze` can map subdomains to ranks without building a
+    world.
+    """
+    per = gpus_per_node // ranks_per_node
+    return node_index * ranks_per_node + local_gpu // per
+
+
 class Rank:
     """One MPI process pinned to a node."""
 
@@ -197,9 +210,9 @@ class MpiWorld:
 
     def rank_of_device(self, device: Device) -> Rank:
         """The rank that owns (sees) a device."""
-        per = self.cluster.machine.node.n_gpus // self.ranks_per_node
-        local_rank = device.local_index // per
-        return self.ranks[device.node.index * self.ranks_per_node + local_rank]
+        return self.ranks[rank_index_for_gpu(
+            device.node.index, device.local_index, self.ranks_per_node,
+            self.cluster.machine.node.n_gpus)]
 
     def rank_of_gpu(self, global_gpu: int) -> Rank:
         """The rank owning the GPU with global id ``global_gpu``."""

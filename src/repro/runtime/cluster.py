@@ -130,6 +130,10 @@ class SimCluster:
         self.sanitizer = None
         #: attached :class:`repro.metrics.Metrics`, or None (the default)
         self.metrics = None
+        #: verify every exchange plan statically before launch
+        #: (:func:`repro.analyze.analyze_plan`), raising
+        #: :class:`~repro.errors.AnalysisError` on findings
+        self.precheck = False
         #: every MpiWorld built over this cluster (for sanitizer finalize)
         self.worlds: List["MpiWorld"] = []  # noqa: F821 - set by MpiWorld
         self.nodes: List[SimNode] = [SimNode(self, i)
@@ -139,7 +143,8 @@ class SimCluster:
     def create(cls, machine: Machine, cost: Optional[CostModel] = None,
                data_mode: bool = True, trace: bool = False,
                sanitize: Optional[bool] = None,
-               metrics: Optional[bool] = None) -> "SimCluster":
+               metrics: Optional[bool] = None,
+               precheck: Optional[bool] = None) -> "SimCluster":
         """Build a cluster; ``trace=True`` records a full timeline.
 
         ``sanitize=True`` attaches a :class:`repro.sanitize.Sanitizer`
@@ -153,6 +158,12 @@ class SimCluster:
         and turns on per-resource busy-interval recording; the default
         (``None``) consults ``REPRO_METRICS``.  Disabled, the
         instrumentation costs one attribute check per call site.
+
+        ``precheck=True`` runs the static plan verifier
+        (:func:`repro.analyze.analyze_plan`) on every domain built over
+        this cluster, *between* plan construction and setup — a broken
+        plan raises :class:`~repro.errors.AnalysisError` before anything
+        launches.  The default (``None``) consults ``REPRO_PRECHECK``.
         """
         from ..cuda.device import Device  # deferred: cuda imports runtime types
         cluster = cls(machine, cost or CostModel(), data_mode,
@@ -171,6 +182,9 @@ class SimCluster:
             from ..metrics import Metrics  # deferred: metrics imports sim
             cluster.metrics = Metrics(cluster.engine)
             cluster.engine.record_intervals = True
+        if precheck is None:
+            precheck = os.environ.get("REPRO_PRECHECK", "") not in ("", "0")
+        cluster.precheck = precheck
         cluster_registry.add(cluster)
         return cluster
 

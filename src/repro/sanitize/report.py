@@ -1,108 +1,22 @@
-"""Structured sanitizer findings and the aggregate report.
+"""Sanitizer findings and the aggregate run report.
 
-Every checker (race detector, MPI checker, lifetime checker) reports
-through one :class:`SanitizerReport`, so a test — or the bench CLI — asks a
-single question: *did this run violate any concurrency or resource-usage
-rule of the simulated substrate?*  A :class:`Finding` carries enough task
-provenance (the simulated operations involved, the buffer or request label,
-the virtual time of detection) to locate the bug without re-running.
+The record/report machinery lives in :mod:`repro.findings`, shared with
+the static analyzer (:mod:`repro.analyze`) so both layers render and
+serialize identically.  Every dynamic checker (race detector, MPI checker,
+lifetime checker) reports through one :class:`SanitizerReport`, so a test —
+or the bench CLI — asks a single question: *did this run violate any
+concurrency or resource-usage rule of the simulated substrate?*
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from ..findings import MAX_STORED_FINDINGS, Finding, FindingsReport
 
-#: stored findings are capped so a pathologically racy run cannot exhaust
-#: memory; the per-kind counters keep counting past the cap.
-MAX_STORED_FINDINGS = 256
+__all__ = ["Finding", "FindingsReport", "SanitizerReport",
+           "MAX_STORED_FINDINGS"]
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One sanitizer violation.
-
-    ``checker`` is the reporting subsystem (``race`` / ``mpi`` /
-    ``lifetime``); ``kind`` the specific rule violated (e.g.
-    ``write-read-race``, ``leaked-request``, ``double-free``); ``subjects``
-    the buffer/request labels involved; ``tasks`` the simulated operations'
-    names (task provenance); ``time`` the virtual time of detection.
-    """
-
-    checker: str
-    kind: str
-    message: str
-    subjects: Tuple[str, ...] = ()
-    tasks: Tuple[str, ...] = ()
-    time: float = 0.0
-
-    def to_dict(self) -> dict:
-        return {
-            "checker": self.checker,
-            "kind": self.kind,
-            "message": self.message,
-            "subjects": list(self.subjects),
-            "tasks": list(self.tasks),
-            "time": self.time,
-        }
-
-    def __str__(self) -> str:
-        loc = f" [{', '.join(self.subjects)}]" if self.subjects else ""
-        return f"{self.checker}/{self.kind}{loc}: {self.message}"
-
-
-@dataclass
-class SanitizerReport:
+class SanitizerReport(FindingsReport):
     """All findings of one sanitized run."""
 
-    findings: List[Finding] = field(default_factory=list)
-    #: total findings per ``checker/kind`` (keeps counting past the storage cap)
-    counts: Counter = field(default_factory=Counter)
-
-    def add(self, finding: Finding) -> None:
-        self.counts[f"{finding.checker}/{finding.kind}"] += 1
-        if len(self.findings) < MAX_STORED_FINDINGS:
-            self.findings.append(finding)
-
-    @property
-    def total(self) -> int:
-        return sum(self.counts.values())
-
-    @property
-    def ok(self) -> bool:
-        """True when the run produced no findings."""
-        return self.total == 0
-
-    def by_checker(self, checker: str) -> List[Finding]:
-        return [f for f in self.findings if f.checker == checker]
-
-    def by_kind(self, kind: str) -> List[Finding]:
-        return [f for f in self.findings if f.kind == kind]
-
-    def kind_counts(self) -> Dict[str, int]:
-        return dict(self.counts)
-
-    def summary(self) -> str:
-        """Multi-line text report, profiler-style."""
-        if self.ok:
-            return "sanitizer: clean (0 findings)"
-        lines = [f"sanitizer: {self.total} finding(s)"]
-        for key in sorted(self.counts):
-            lines.append(f"  {key:<28} {self.counts[key]:>5}")
-        shown = self.findings[:20]
-        for f in shown:
-            lines.append(f"  - {f}")
-        hidden = self.total - len(shown)
-        if hidden > 0:
-            lines.append(f"  ... and {hidden} more")
-        return "\n".join(lines)
-
-    def to_dict(self) -> dict:
-        """Stable JSON shape for ``BENCH_<config>.json``."""
-        return {
-            "total": self.total,
-            "ok": self.ok,
-            "by_kind": {k: self.counts[k] for k in sorted(self.counts)},
-            "findings": [f.to_dict() for f in self.findings[:50]],
-        }
+    title = "sanitizer"

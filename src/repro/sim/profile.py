@@ -239,13 +239,13 @@ def critical_path_report(terminal: Task, t_start: float = 0.0,
         svc = clamp(s.start, s.end)
         if svc > 0:
             phase[s.phase] = phase.get(s.phase, 0.0) + svc
-            for cls in {classify_resource(r) for r in s.resources}:
+            for cls in sorted({classify_resource(r) for r in s.resources}):
                 service[cls] = service.get(cls, 0.0) + svc
         q = clamp(s.eligible, s.start)
         if q > 0:
             phase["queue"] = phase.get("queue", 0.0) + q
             blockers = s.blocked_on or s.resources
-            for cls in {classify_resource(r) for r in blockers}:
+            for cls in sorted({classify_resource(r) for r in blockers}):
                 queue[cls] = queue.get(cls, 0.0) + q
     return CriticalPathReport(t_start=t_start, t_end=t_end,
                               segments=segments, phase_seconds=phase,

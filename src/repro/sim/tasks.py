@@ -220,8 +220,9 @@ class Task:
         if self.action is not None:
             self.action()
         if self.tracer is not None and self.lane:
+            start = 0.0 if self.start_time is None else self.start_time
             self.tracer.record(self.lane, self.kind or "op", self.name,
-                               self.start_time or 0.0, self.completion_time,
+                               start, self.completion_time,
                                self.bytes, queue_wait=self.queue_wait)
         for cb in self._callbacks:
             cb(self)

@@ -98,8 +98,8 @@ class NodeTopology:
             self._adj[c].sort(key=lambda l: l.name)
 
         if peer_access is None:
-            peer_access = frozenset(
-                (i, j) for i in range(self.n_gpus) for j in range(i + 1, self.n_gpus))
+            peer_access = [
+                (i, j) for i in range(self.n_gpus) for j in range(i + 1, self.n_gpus)]
         self._peer_access = frozenset(
             (min(i, j), max(i, j)) for (i, j) in peer_access)
 
@@ -177,6 +177,17 @@ class NodeTopology:
         if i == j:
             return True
         return (min(i, j), max(i, j)) in self._peer_access
+
+    def peer_matrix(self) -> Tuple[Tuple[bool, ...], ...]:
+        """The full pairwise ``peer_accessible`` matrix (symmetric).
+
+        Static-planning helper: lets :mod:`repro.analyze` reason about
+        method legality from the declarative topology alone, with no
+        :class:`repro.cuda.Device` objects instantiated.
+        """
+        n = self.n_gpus
+        return tuple(tuple(self.peer_accessible(i, j) for j in range(n))
+                     for i in range(n))
 
     def gpu_link_type(self, i: int, j: int) -> LinkType:
         """Dominant (slowest) link technology between two GPUs."""

@@ -1,0 +1,14 @@
+"""Seeded bug: truthiness tests on virtual-time values (falsy at t=0)."""
+
+
+def span(evt):
+    start = evt.start_time or 0.0
+    if evt.finish_time:
+        return evt.finish_time - start
+    return 0.0
+
+
+def wait_done(task):
+    while not task.completion_time:
+        task.poll()
+    assert task.completion_time

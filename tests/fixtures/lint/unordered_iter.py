@@ -1,0 +1,16 @@
+"""Seeded bug: set iteration order feeding event submission order."""
+
+
+def submit_all(tasks):
+    ready = {t for t in tasks}
+    for t in ready:
+        t.submit()
+
+
+def literal_walk():
+    return [x * x for x in {3, 1, 2}]
+
+
+def sorted_is_fine(tasks):
+    for t in sorted({t.name for t in tasks}):
+        yield t

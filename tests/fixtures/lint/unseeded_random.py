@@ -1,0 +1,12 @@
+"""Seeded bug: global-state randomness in simulation code."""
+
+import random
+
+
+def jitter(base):
+    return base + random.random() * 0.1
+
+
+def pick(items):
+    random.shuffle(items)
+    return random.choice(items)

@@ -1,0 +1,15 @@
+"""Seeded bug: MPI requests created but never completed on."""
+
+
+def fire_and_forget(rank, buf, peer):
+    rank.isend(buf, peer, 7)
+
+
+def leaked_handle(rank, buf, peer):
+    req = rank.irecv(buf, peer, 7)  # noqa: F841 - the seeded bug
+    return buf
+
+
+def properly_waited(rank, buf, peer):
+    req = rank.irecv(buf, peer, 7)
+    rank.wait(req)

@@ -1,0 +1,10 @@
+"""Seeded bug: host-clock reads leaking into simulated timing."""
+
+import time
+from datetime import datetime
+
+
+def stamp(record):
+    record.created = time.time()
+    record.day = datetime.now()
+    record.tick = time.perf_counter()
