@@ -23,11 +23,15 @@ from .errors import (
     ConfigurationError,
     CudaError,
     DeadlockError,
+    ExchangeTimeoutError,
+    FaultError,
     MpiError,
     PartitionError,
     PlacementError,
     ReproError,
+    TransientTransportError,
 )
+from .faults import FaultPlan, load_fault_plan
 from .runtime import CostModel, SimCluster
 from .mpi import MpiWorld
 from .topology import (
@@ -82,5 +86,10 @@ __all__ = [
     "DeadlockError",
     "CapabilityError",
     "AnalysisError",
+    "FaultError",
+    "ExchangeTimeoutError",
+    "TransientTransportError",
+    "FaultPlan",
+    "load_fault_plan",
     "__version__",
 ]

@@ -20,6 +20,11 @@ structurally exposed to) in its deterministic discrete-event substrate:
 * ``unordered-iter`` — iterating a ``set`` literal/comprehension/call
   feeds nondeterministic order into whatever the loop does (task
   submission, tag assignment, trace emission); sort first.
+* ``swallowed-exception`` — a bare ``except:`` (or a broad
+  ``except Exception:`` whose body only ``pass``es) inside the substrate
+  silently eats the precise diagnostics this library exists to raise;
+  with fault injection in play it can even mask an injected fault as
+  success.  Catch the specific error type, or handle and re-raise.
 
 Rules are plain :class:`ast.NodeVisitor` subclasses returning
 :class:`RuleFinding` records; :mod:`repro.analyze.lint` drives them over
@@ -275,9 +280,50 @@ class UnorderedIter(Rule):
     visit_GeneratorExp = _visit_comp
 
 
+class SwallowedException(Rule):
+    """Handlers that silently discard errors inside the substrate."""
+
+    name = "swallowed-exception"
+    packages = ("sim", "cuda", "mpi", "runtime", "faults")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    @staticmethod
+    def _body_swallows(body: List[ast.stmt]) -> bool:
+        """True when the handler body does nothing but ``pass`` / ``...``."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) \
+                    and isinstance(stmt.value, ast.Constant) \
+                    and stmt.value.value is Ellipsis:
+                continue
+            return False
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit(node, "bare `except:` catches everything including "
+                            "KeyboardInterrupt/SystemExit and hides the "
+                            "substrate's typed diagnostics; name the "
+                            "exception class")
+        elif self._body_swallows(node.body):
+            names = [n for n in (
+                [node.type] if not isinstance(node.type, ast.Tuple)
+                else node.type.elts)]
+            broad = [t for n in names
+                     if (t := _tail_name(n)) in self._BROAD]
+            if broad:
+                self.emit(node, f"`except {broad[0]}: pass` swallows every "
+                                f"error silently — an injected fault or real "
+                                f"bug vanishes as success; catch the "
+                                f"specific type or handle and re-raise")
+        self.generic_visit(node)
+
+
 #: every rule, by name — the linter's registry
 ALL_RULES: Dict[str, Type[Rule]] = {
     cls.name: cls
     for cls in (TruthyTime, WallClock, UnseededRandom, UnwaitedRequest,
-                UnorderedIter)
+                UnorderedIter, SwallowedException)
 }

@@ -220,7 +220,8 @@ def _run_config(args) -> int:
                                   warmup=args.warmup,
                                   profile=args.profile,
                                   sanitize=args.sanitize or None,
-                                  metrics=args.metrics or None)
+                                  metrics=args.metrics or None,
+                                  faults=args.faults or None)
     timing, final = run.timing, run.final
 
     print(f"===== {config.label()} ({args.rung}) =====")
@@ -241,6 +242,9 @@ def _run_config(args) -> int:
         print(report.summary())
     if args.metrics:
         _print_metrics(run)
+    if run.cluster.faults is not None:
+        print()
+        print(run.cluster.faults.summary())
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
@@ -325,6 +329,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "heatmap, write METRICS_<config>.json and the "
                              "event JSONL, and include the snapshot in the "
                              "bench JSON")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="config runs: attach a seeded fault plan (a "
+                             "JSON file path or inline JSON object); print "
+                             "the injection summary and include counters + "
+                             "plan in the bench JSON")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":

@@ -69,7 +69,8 @@ def build_domain(config: BenchConfig,
                  trace: bool = False,
                  sanitize: Optional[bool] = None,
                  metrics: Optional[bool] = None,
-                 precheck: Optional[bool] = None
+                 precheck: Optional[bool] = None,
+                 faults=None
                  ) -> Tuple[DistributedDomain, SimCluster]:
     """Construct the simulated machine + realized domain for a config.
 
@@ -79,6 +80,9 @@ def build_domain(config: BenchConfig,
     read it from ``cluster.metrics`` after the run.  ``precheck=True``
     statically verifies the exchange plan during ``realize()``
     (:func:`repro.analyze.analyze_plan`), raising before launch.
+    ``faults`` attaches a seeded fault plan (anything
+    :func:`repro.faults.load_fault_plan` accepts); read the injection
+    counters and findings from ``cluster.faults`` after the run.
     """
     node = summit_node(n_gpus=config.gpus_per_node)
     machine = Machine(node=node, n_nodes=config.nodes,
@@ -87,7 +91,8 @@ def build_domain(config: BenchConfig,
                                           fabric_latency=FABRIC_LAT))
     cluster = SimCluster.create(machine, cost=cost, data_mode=data_mode,
                                 trace=trace, sanitize=sanitize,
-                                metrics=metrics, precheck=precheck)
+                                metrics=metrics, precheck=precheck,
+                                faults=faults)
     world = MpiWorld.create(cluster, config.ranks_per_node,
                             cuda_aware=config.cuda_aware)
     dd = DistributedDomain(world, size=config.size, radius=Radius.constant(radius),

@@ -22,7 +22,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: merged busy intervals) and ``metrics`` (the full registry snapshot:
 #: counters, gauges, log2 histograms).  Later additions are
 #: backward-compatible optional sections: ``plan`` (static plan-analyzer
-#: verdict + message-graph summary, see :mod:`repro.analyze`).
+#: verdict + message-graph summary, see :mod:`repro.analyze`) and
+#: ``faults`` (fault-injection counters + plan + findings count, present
+#: only on runs with a fault plan attached, see :mod:`repro.faults`).
 BENCH_SCHEMA = "repro-bench/2"
 
 
@@ -118,6 +120,13 @@ def bench_record(run: "ProfiledRun") -> dict:
             run.cluster, extra=world_resources(run.dd.world))
         record["metrics"] = run.cluster.metrics.snapshot()
     record["plan"] = plan_section(run.dd)
+    if run.cluster.faults is not None:
+        faults = run.cluster.faults
+        record["faults"] = {
+            "counters": dict(faults.counters),
+            "plan": faults.plan.to_dict(),
+            "findings": faults.report.total,
+        }
     return record
 
 
@@ -181,6 +190,18 @@ def validate_bench_record(record: dict) -> None:
         for cls, row in record["link_utilization"].items():
             if not {"busy_s", "union_busy_s", "count"} <= set(row):
                 raise ValueError(f"link_utilization {cls!r} malformed: {row}")
+    if "faults" in record:
+        fsec = record["faults"]
+        counters = fsec.get("counters")
+        if not isinstance(counters, dict):
+            raise ValueError("faults.counters must be a dict")
+        for k in ("faults_injected", "retries", "fallbacks", "timeouts"):
+            if not isinstance(counters.get(k), int):
+                raise ValueError(f"faults.counters.{k} must be an int")
+        if not isinstance(fsec.get("plan"), dict):
+            raise ValueError("faults.plan must be a dict")
+        if not isinstance(fsec.get("findings"), int):
+            raise ValueError("faults.findings must be an int")
     if "plan" in record:
         plan = record["plan"]
         if plan.get("verdict") not in ("ok", "findings"):

@@ -106,6 +106,8 @@ class Channel:
         #: set by a ConsolidatedGroup when this STAGED channel's message is
         #: merged into a single per-rank-pair transfer (§VI consolidation)
         self.group = None
+        #: methods this channel lost to mid-run faults (degradation ladder)
+        self.excluded: set = set()
 
     # -- setup ------------------------------------------------------------------
     def setup_phase1(self) -> None:
@@ -164,6 +166,51 @@ class Channel:
                 self.src.rank.ctx, self._handle_req.data,
                 self.src.rank.index, self.src.rank.node.index)
             assert self.remote_buf is self.recv_buf
+
+    # -- graceful degradation -------------------------------------------------------
+    def method_healthy(self, method: ExchangeMethod) -> bool:
+        """Whether ``method`` would still work for this pair *right now*.
+
+        Probes the live capability the method depends on — peer access for
+        the memcpy/direct methods (which a ``peer_revoke`` fault withdraws
+        mid-run), CUDA-aware library support for CUDA_AWARE_MPI.  KERNEL
+        and STAGED need nothing revocable; STAGED is the terminal fallback.
+        """
+        if method in (ExchangeMethod.PEER_MEMCPY,
+                      ExchangeMethod.COLOCATED_MEMCPY):
+            return self.src.device.can_access_peer(self.dst.device)
+        if method is ExchangeMethod.DIRECT_ACCESS:
+            return self.dst.device.can_access_peer(self.src.device)
+        if method is ExchangeMethod.CUDA_AWARE_MPI:
+            faults = self.dd.cluster.faults
+            return faults is None or not faults.cuda_aware_revoked()
+        return True
+
+    def healthy(self) -> bool:
+        """Whether this channel's current method still works."""
+        return self.method_healthy(self.method)
+
+    def demote(self, new_method: ExchangeMethod) -> None:
+        """Re-specialize this channel to ``new_method``.
+
+        Frees the old method's buffers and re-runs phase-1 setup (the
+        caller drains the engine and runs :meth:`setup_phase2` afterwards,
+        exactly like first-time setup).  Only call at quiescence — no
+        in-flight round may reference the old buffers.
+        """
+        for buf in (self.pack_buf, self.recv_buf, self.pin_send,
+                    self.pin_recv):
+            if buf is not None and not buf.freed:
+                buf.free()
+        # remote_buf is the IPC view of recv_buf (same object for
+        # COLOCATED) — already freed above, just drop the reference.
+        self.pack_buf = self.recv_buf = None
+        self.pin_send = self.pin_recv = None
+        self.remote_buf = None
+        self._handle_req = self._handle_send_req = None
+        self._colo_copy = None
+        self.method = new_method
+        self.setup_phase1()
 
     # -- one exchange round --------------------------------------------------------
     def post_recv(self, ops: RoundOps) -> None:

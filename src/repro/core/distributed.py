@@ -249,6 +249,26 @@ class DistributedDomain:
         """Run ``reps`` consecutive exchanges (the paper averages 30)."""
         return [self.exchange() for _ in range(reps)]
 
+    def quiesce_and_replan(self):
+        """Drain in-flight work, then demote channels broken by faults.
+
+        The explicit form of the graceful-degradation step that
+        ``exchange()`` performs automatically when a fault plan with
+        ``fallback`` is attached: run the engine to quiescence (no round
+        may reference buffers about to be freed), probe every channel's
+        method against the *current* capability state, and re-specialize
+        the broken ones down the §III-C ladder (ultimately STAGED).
+
+        Returns the demotions as ``(tag, old_method, new_method)`` tuples —
+        empty when every channel is healthy.
+        """
+        if not self._realized:
+            raise ConfigurationError(
+                "call realize() before quiesce_and_replan()")
+        assert self.plan is not None
+        self.cluster.run()
+        return self.plan.replan_degraded()
+
     # -- global data access (data mode; instantaneous, for init/verification) ---------
     def set_global(self, q: int, values: np.ndarray) -> None:
         """Scatter a full ``(z, y, x)`` array into subdomain interiors.

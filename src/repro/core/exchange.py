@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Callable, Dict, List, Mapping, Optional,
                     Sequence, Tuple)
 
-from ..errors import DeadlockError
+from ..errors import DeadlockError, ExchangeTimeoutError
 from ..sim import Task
 from ..sim.profile import CriticalPathReport, critical_path_report
 from ..sim.tasks import Dep
@@ -202,6 +202,49 @@ class ExchangePlan:
         self.dd.cluster.run()
         self._setup_done = True
 
+    # -- graceful degradation -----------------------------------------------------------
+    def replan_degraded(self) -> List[Tuple[int, ExchangeMethod,
+                                            ExchangeMethod]]:
+        """Demote every channel whose method a fault broke; re-realize them.
+
+        For each unhealthy channel, walks the §III-C ladder again with the
+        broken method(s) excluded until a *currently healthy* method is
+        found (STAGED terminates the walk: it needs nothing revocable),
+        frees the old buffers, re-runs the channel's setup — including any
+        new IPC handshakes — and records a ``fallback`` with the fault
+        layer.  Must be called at engine quiescence; returns the demotions
+        as ``(tag, old_method, new_method)``.
+        """
+        from .methods import select_method
+        dd = self.dd
+        faults = dd.cluster.faults
+        demotions: List[Tuple[int, ExchangeMethod, ExchangeMethod]] = []
+        demoted: List[Channel] = []
+        for ch in self.channels:
+            if ch.group is not None or ch.healthy():
+                continue  # grouped channels are STAGED (always healthy)
+            old = ch.method
+            new = ch.method
+            while not ch.method_healthy(new):
+                ch.excluded.add(new)
+                new = select_method(ch.src, ch.dst, dd.capabilities,
+                                    exclude=frozenset(ch.excluded))
+            ch.demote(new)
+            demotions.append((ch.tag, old, new))
+            demoted.append(ch)
+            if faults is not None:
+                faults.record_fallback(
+                    f"ch{ch.tag}({ch.src.linear_id}->{ch.dst.linear_id})",
+                    old.value, new.value)
+        if demoted:
+            # Same two-beat flow as first-time setup: run the engine so
+            # handshake messages land, then open the received handles.
+            dd.cluster.run()
+            for ch in demoted:
+                ch.setup_phase2()
+            dd.cluster.run()
+        return demotions
+
     # -- one measured round ------------------------------------------------------------
     def run_exchange(self, overlap_launcher: Optional[OverlapLauncher] = None,
                      profile: bool = False) -> ExchangeResult:
@@ -222,10 +265,38 @@ class ExchangePlan:
         finally:
             engine.retain_dag = retain_before
 
+    def _stuck_detail(self, joins: Dict[int, Task],
+                      ops: List[RoundOps]) -> str:
+        """Diagnostic suffix for a timed-out round: the stuck ranks, the
+        channels whose terminals never completed, and unmatched messages."""
+        stuck_ranks = [f"r{i}" for i, j in sorted(joins.items())
+                       if not j.completed]
+        stuck_channels = []
+        for ch, o in zip(self.channels, ops):
+            terminals = (*o.src_terminals, *o.dst_terminals)
+            if terminals and any(not d.completed for d in terminals):
+                stuck_channels.append(
+                    f"ch{ch.tag}({ch.src.linear_id}->{ch.dst.linear_id} "
+                    f"{ch.method.value})")
+        out = ""
+        if stuck_ranks:
+            out += f"\nstuck ranks: {stuck_ranks[:8]}"
+        if stuck_channels:
+            out += f"\nstuck channels: {stuck_channels[:8]}"
+        um = self.dd.world.transport.unmatched()
+        if um:
+            out += f"\nunmatched MPI ops: {um[:8]}"
+        return out
+
     def _run_exchange(self, overlap_launcher: Optional[OverlapLauncher],
                       profile: bool) -> ExchangeResult:
         dd = self.dd
         world = dd.world
+        faults = dd.cluster.faults
+        if faults is not None and faults.plan.fallback:
+            # Graceful degradation: route around capabilities revoked since
+            # the previous round before committing this round's schedule.
+            self.replan_degraded()
         barrier_join = world.barrier()
 
         ops: List[RoundOps] = [RoundOps() for _ in self.channels]
@@ -267,7 +338,28 @@ class ExchangePlan:
             rank.ctx.cpu_barrier_dep(j)
             joins[rank.index] = j
 
-        dd.cluster.run()
+        deadline_id: Optional[int] = None
+        if faults is not None and faults.plan.round_timeout_s is not None:
+            timeout = faults.plan.round_timeout_s
+
+            def round_expired() -> None:
+                msg = (f"exchange round exceeded its {timeout:.3e}s "
+                       f"virtual-time deadline")
+                faults.record_timeout("round", msg)
+                raise ExchangeTimeoutError(msg)
+
+            deadline_id = dd.cluster.engine.schedule(timeout, round_expired)
+        try:
+            dd.cluster.run()
+        except ExchangeTimeoutError as exc:
+            # Name what is actually stuck: the deadline (request- or
+            # round-level) only knows a time was exceeded; the plan knows
+            # which channels' terminals never completed.
+            raise ExchangeTimeoutError(
+                str(exc) + self._stuck_detail(joins, ops)) from None
+        finally:
+            if deadline_id is not None:
+                dd.cluster.engine.cancel(deadline_id)
         stuck = {i: j for i, j in joins.items() if not j.completed}
         if stuck:
             from ..sanitize.deadlock import explain_stuck

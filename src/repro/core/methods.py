@@ -23,7 +23,7 @@ STAGED — the benchmarks reproduce exactly that by toggling ``ca``.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, FrozenSet
 
 from ..errors import CapabilityError
 from .capabilities import Capabilities
@@ -44,35 +44,47 @@ class ExchangeMethod(enum.Enum):
     STAGED = "staged"
 
 
-def select_method(src: "Subdomain", dst: "Subdomain",
-                  caps: Capabilities) -> ExchangeMethod:
+def select_method(src: "Subdomain", dst: "Subdomain", caps: Capabilities,
+                  exclude: FrozenSet[ExchangeMethod] = frozenset()
+                  ) -> ExchangeMethod:
     """First applicable method for a src→dst halo transfer.
 
     Applicability (what the hardware/runtime supports) and enablement (the
     capability ladder) are checked together, mirroring the library's
     "first applicable method from this section is selected".
+
+    ``exclude`` skips methods already ruled out — the graceful-degradation
+    ladder passes the set of methods a mid-run fault broke (revoked peer
+    access, CUDA-aware MPI support withdrawn) so the channel re-selects
+    the best *surviving* method, ultimately STAGED.
     """
     same_sub = src is dst
     same_rank = src.rank is dst.rank
     same_node = src.device.node is dst.device.node
 
-    if same_sub and caps.kernel:
+    if same_sub and caps.kernel and ExchangeMethod.KERNEL not in exclude:
         return ExchangeMethod.KERNEL
     if same_rank and not same_sub and caps.direct \
+            and ExchangeMethod.DIRECT_ACCESS not in exclude \
             and dst.device.can_access_peer(src.device):
         # §VI extension: the destination's kernel reads the source's
         # interior directly — checked before PEER because when available
         # it strictly dominates (no pack/copy/unpack).
         return ExchangeMethod.DIRECT_ACCESS
-    if same_rank and caps.peer and src.device.can_access_peer(dst.device):
+    if same_rank and caps.peer \
+            and ExchangeMethod.PEER_MEMCPY not in exclude \
+            and src.device.can_access_peer(dst.device):
         return ExchangeMethod.PEER_MEMCPY
     if same_node and not same_rank and caps.colocated \
+            and ExchangeMethod.COLOCATED_MEMCPY not in exclude \
             and src.device.can_access_peer(dst.device):
         return ExchangeMethod.COLOCATED_MEMCPY
-    if caps.cuda_aware:
+    if caps.cuda_aware and ExchangeMethod.CUDA_AWARE_MPI not in exclude:
         return ExchangeMethod.CUDA_AWARE_MPI
-    if caps.staged:
+    if caps.staged and ExchangeMethod.STAGED not in exclude:
         return ExchangeMethod.STAGED
     raise CapabilityError(
         f"no enabled method can transfer subdomain {src.linear_id} -> "
-        f"{dst.linear_id} (caps={caps.flags})")
+        f"{dst.linear_id} (caps={caps.flags}"
+        + (f", excluding {sorted(m.value for m in exclude)}" if exclude
+           else "") + ")")

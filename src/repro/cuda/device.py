@@ -72,10 +72,19 @@ class Device:
 
     # -- peer access ----------------------------------------------------------
     def can_access_peer(self, other: "Device") -> bool:
-        """``cudaDeviceCanAccessPeer``: same node and topology allows it."""
+        """``cudaDeviceCanAccessPeer``: same node and topology allows it.
+
+        The fault layer can revoke a working pair mid-run (``peer_revoke``),
+        after which this answers False — the hook the §III-C degradation
+        ladder uses to route affected channels to a surviving method.
+        """
         if other is self:
             return True
         if not self.same_node(other):
+            return False
+        faults = self.cluster.faults
+        if faults is not None and faults.peer_revoked(self.global_index,
+                                                      other.global_index):
             return False
         return self.node.topology.peer_accessible(self.local_index,
                                                   other.local_index)
@@ -91,8 +100,19 @@ class Device:
         self._peer_enabled.add(other.global_index)
 
     def peer_enabled(self, other: "Device") -> bool:
-        """Whether this device has *enabled* peer access to ``other``."""
-        return other is self or other.global_index in self._peer_enabled
+        """Whether this device has *enabled* peer access to ``other``.
+
+        A previously-enabled mapping goes stale if the fault layer revokes
+        the pair: copies then fall back (or fail) as if the driver had torn
+        the mapping down.
+        """
+        if other is self:
+            return True
+        if other.global_index not in self._peer_enabled:
+            return False
+        faults = self.cluster.faults
+        return faults is None or not faults.peer_revoked(self.global_index,
+                                                         other.global_index)
 
     # -- memory ---------------------------------------------------------------
     def alloc(self, nbytes: int, label: str = "") -> DeviceBuffer:
@@ -107,15 +127,26 @@ class Device:
     def _alloc(self, nbytes: int, shape, dtype, label: str) -> DeviceBuffer:
         if nbytes < 0:
             raise CudaError(f"negative allocation size {nbytes}")
+        self._alloc_count += 1
+        if not label:
+            label = f"g{self.global_index}/buf{self._alloc_count}"
+        faults = self.cluster.faults
+        if faults is not None:
+            # Transient cudaMalloc failures: the simulated driver retries
+            # internally within the plan's max_retries budget and only
+            # surfaces an error once that budget is exhausted.
+            failures = faults.alloc_attempt(self, label)
+            if failures > faults.plan.max_retries:
+                raise CudaMemoryError(
+                    f"gpu{self.global_index}: transient allocation failure "
+                    f"on {label} persisted past {faults.plan.max_retries} "
+                    f"retry(ies)")
         if self.used_bytes + nbytes > self.memory_bytes:
             raise CudaMemoryError(
                 f"gpu{self.global_index}: allocating {nbytes} B would exceed "
                 f"{self.memory_bytes} B capacity "
                 f"({self.used_bytes} B already in use)")
         self.used_bytes += nbytes
-        self._alloc_count += 1
-        if not label:
-            label = f"g{self.global_index}/buf{self._alloc_count}"
         arr = make_array(shape, dtype, symbolic=not self.cluster.data_mode)
         return DeviceBuffer(self, nbytes, arr, label)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
-from ..errors import CudaError
+from ..errors import CudaError, PeerAccessError
 from ..sim import Resource, Task
 from ..sim.tasks import Dep
 from .device import Device
@@ -184,6 +184,12 @@ class CudaContext:
         if duration is None:
             rate = dev.spec.internal_bandwidth * cost.pack_efficiency
             duration = cost.kernel_launch_overhead + nbytes / rate
+        faults = self.cluster.faults
+        if faults is not None:
+            # Straggler GPUs: kernel durations stretch while the device's
+            # engines are degraded (fault windows write bandwidth_scale).
+            duration = faults.scaled_duration(
+                duration, (dev.kernel_engine, *extra_resources))
         issue = self.issue(what, deps=deps, ordered=ordered)
         op_deps: list[Dep] = [issue, *gate_deps]
         if stream.tail is not None:
@@ -239,6 +245,9 @@ class CudaContext:
                       action, deps: Sequence[Dep],
                       ordered: bool = True,
                       src_buf=None, dst_buf=None) -> Task:
+        faults = self.cluster.faults
+        if faults is not None:
+            duration = faults.scaled_duration(duration, resources)
         issue = self.issue(what, deps=deps, ordered=ordered)
         op_deps: list[Dep] = [issue]
         if stream.tail is not None:
@@ -328,6 +337,17 @@ class CudaContext:
         if src.nbytes != dst.nbytes:
             raise CudaError(
                 f"peer copy size mismatch: {src.nbytes} -> {dst.nbytes}")
+        faults = self.cluster.faults
+        if faults is not None and faults.peer_revoked(sdev.global_index,
+                                                      ddev.global_index):
+            # The driver mapping is gone; a library that keeps issuing peer
+            # copies must fail loudly rather than silently bounce through
+            # the host.  Recovery is the channel demotion ladder
+            # (DistributedDomain.quiesce_and_replan / plan fallback).
+            raise PeerAccessError(
+                f"peer access between gpu{sdev.global_index} and "
+                f"gpu{ddev.global_index} was revoked mid-run; demote the "
+                f"channel down the method ladder to recover")
         cost = self.cluster.cost
         node = sdev.node
         path = node.path_resources(sdev.component, ddev.component)

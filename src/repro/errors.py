@@ -76,3 +76,32 @@ class AnalysisError(ReproError):
     would mis-cover a halo, collide tags, use an illegal method, or risk
     deadlock — all decidable without running the engine.
     """
+
+
+class FaultError(ReproError):
+    """Base class for errors raised by the fault-injection subsystem.
+
+    Subclasses distinguish *recoverable* conditions the library retries or
+    routes around (:class:`TransientTransportError`) from *terminal* ones
+    that surface to the caller (:class:`ExchangeTimeoutError`).
+    """
+
+
+class ExchangeTimeoutError(FaultError):
+    """A virtual-time deadline on an MPI request or exchange round expired.
+
+    Replaces silent reliance on ``Engine.run(max_events=)`` as the only
+    hang guard: the message names the stuck channel/rank and any unmatched
+    messages, so an unrecoverable fault plan fails with a diagnostic
+    instead of spinning to the event cap.
+    """
+
+
+class TransientTransportError(FaultError):
+    """A transport-level fault (drop/corruption) consumed one send attempt.
+
+    Internal to the retry machinery: the transport catches the condition,
+    backs off, and re-sends.  It only escapes when retries are exhausted,
+    at which point the request/round deadline converts the stall into an
+    :class:`ExchangeTimeoutError`.
+    """

@@ -1,0 +1,32 @@
+"""repro.faults — deterministic fault injection and resilience testing.
+
+Declare *what goes wrong* as a seeded, JSON-serializable
+:class:`FaultPlan` (link degradation and flaps, message drops/corruption/
+duplication, straggler GPUs, transient allocation failures, mid-run
+peer-access / CUDA-aware-MPI revocation, rank stalls), attach it with
+``SimCluster.create(faults=...)`` or the ``REPRO_FAULTS`` environment
+variable, and the substrate injects those faults at deterministic virtual
+times while the library recovers: seeded-backoff retries for transport
+faults, virtual-time deadlines (:class:`~repro.errors.ExchangeTimeoutError`)
+instead of silent hangs, and graceful demotion of broken channels down the
+§III-C method ladder to STAGED.
+
+Headline invariant: in data mode, any *recoverable* plan (retries and
+fallback enabled, faults within budget) produces halo contents
+bit-identical to the fault-free run.
+
+Run ``python -m repro.faults matrix`` for the seeded recovery matrix over
+the committed baseline configurations.
+"""
+
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec, load_fault_plan
+from .injector import FaultInjector, FaultReport
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultReport",
+    "load_fault_plan",
+]

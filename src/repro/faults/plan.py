@@ -1,0 +1,276 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a frozen description of *what goes wrong and when*
+on a simulated run, plus the resilience budget the library may spend
+recovering (retries, backoff, deadlines, method fallback).  Plans are pure
+data: JSON round-trippable, hashable, and independent of any live cluster —
+the mutable injection state (remaining counts, the seeded RNG) lives in
+:class:`~repro.faults.injector.FaultInjector`.
+
+Fault kinds
+-----------
+``drop`` / ``corrupt`` / ``duplicate``
+    Transport faults applied at the MPI match point, selected by a
+    substring ``match`` against the send request's label (e.g.
+    ``"s0>2.t12"``).  Either the next ``times`` matching transfers are hit
+    deterministically, or each is hit with ``probability`` (seeded), capped
+    at ``max_times`` injections total.
+``link_degrade``
+    Bandwidth degradation window(s) on every resource whose name contains
+    ``match`` (links, NIC rails): ``scale`` multiplies the effective data
+    rate during ``[start, start + duration)``; ``repeat``/``period`` turn a
+    single window into a flap, and ``duration <= 0`` (single window only)
+    leaves the link degraded forever.  Times are absolute virtual seconds.
+``straggler``
+    GPU slowdown: all engines of the device with global index ``gpu`` run
+    ``scale``× slower during the window (``duration <= 0``: forever).
+``peer_revoke``
+    From virtual time ``at``, peer access between global GPUs ``gpu`` and
+    ``peer`` is revoked in both directions — ``cudaDeviceCanAccessPeer``
+    starts answering no, live peer copies raise
+    :class:`~repro.errors.PeerAccessError`, and the degradation ladder
+    demotes affected channels.
+``cuda_aware_revoke``
+    From ``at``, the MPI library stops accepting device buffers; channels
+    using CUDA-aware MPI are demoted (ultimately to STAGED).
+``alloc_fail``
+    The next ``times`` device allocations whose label contains ``match``
+    fail transiently; the simulated driver retries them internally within
+    the plan's ``max_retries`` budget.
+``rank_stall``
+    The CPU thread of world rank ``rank`` is held busy for ``duration``
+    seconds starting at virtual time ``at``.
+
+Resilience knobs
+----------------
+``max_retries`` bounds transport re-sends (seeded exponential backoff:
+``backoff_base_s * 2**attempt * (1 + backoff_jitter * rng())``) and the
+driver's internal allocation retries.  ``request_timeout_s`` /
+``round_timeout_s`` arm virtual-time deadlines raising
+:class:`~repro.errors.ExchangeTimeoutError`.  ``fallback`` enables the
+graceful-degradation ladder (channel demotion toward STAGED).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+
+#: every fault kind a plan may carry
+FAULT_KINDS = (
+    "drop", "corrupt", "duplicate",
+    "link_degrade", "straggler",
+    "peer_revoke", "cuda_aware_revoke",
+    "alloc_fail", "rank_stall",
+)
+
+#: kinds consumed one injection at a time at the transport match point
+TRANSFER_KINDS = ("drop", "corrupt", "duplicate")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declared fault.  Only the fields its ``kind`` uses are read."""
+
+    kind: str
+    match: str = ""           #: label/resource-name substring selector
+    times: int = 0            #: deterministic injection count
+    probability: float = 0.0  #: per-match injection probability (seeded)
+    max_times: int = 0        #: cap for probability-based injection
+    start: float = 0.0        #: window start (absolute virtual seconds)
+    duration: float = 0.0     #: window length (straggler: <=0 means forever)
+    period: float = 0.0       #: flap period (window start spacing)
+    repeat: int = 1           #: number of windows
+    scale: float = 1.0        #: bandwidth factor (<1) or slowdown (>1)
+    gpu: int = -1             #: target GPU, global index
+    peer: int = -1            #: peer GPU, global index
+    rank: int = -1            #: target world rank
+    at: float = 0.0           #: instant faults: activation time
+
+    def validate(self) -> None:
+        k = self.kind
+        if k not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {k!r} (one of {FAULT_KINDS})")
+        if k in TRANSFER_KINDS or k == "alloc_fail":
+            if not self.match:
+                raise ConfigurationError(f"{k} fault needs a `match` selector")
+            deterministic = self.times > 0
+            stochastic = 0.0 < self.probability <= 1.0 and self.max_times > 0
+            if k == "alloc_fail" and not deterministic:
+                raise ConfigurationError("alloc_fail needs `times` >= 1")
+            if k != "alloc_fail" and not (deterministic or stochastic):
+                raise ConfigurationError(
+                    f"{k} fault needs `times` >= 1, or `probability` in "
+                    f"(0, 1] with `max_times` >= 1")
+        elif k == "link_degrade":
+            if not self.match:
+                raise ConfigurationError("link_degrade needs a `match` selector")
+            if not 0.0 < self.scale < 1.0:
+                raise ConfigurationError(
+                    f"link_degrade scale must be in (0, 1), got {self.scale}")
+            if self.repeat < 1:
+                raise ConfigurationError("link_degrade repeat must be >= 1")
+            if self.duration <= 0.0 and self.repeat > 1:
+                raise ConfigurationError(
+                    "an open-ended link_degrade (duration <= 0) cannot flap; "
+                    "set repeat=1 or give a positive duration")
+            if self.repeat > 1 and self.period < self.duration:
+                raise ConfigurationError(
+                    "flapping link_degrade needs `period` >= `duration`")
+        elif k == "straggler":
+            if self.gpu < 0:
+                raise ConfigurationError("straggler needs a `gpu` index")
+            if self.scale <= 1.0:
+                raise ConfigurationError(
+                    f"straggler scale must be > 1, got {self.scale}")
+        elif k == "peer_revoke":
+            if self.gpu < 0 or self.peer < 0:
+                raise ConfigurationError("peer_revoke needs `gpu` and `peer`")
+        elif k == "cuda_aware_revoke":
+            pass  # `at` alone; defaults are valid
+        elif k == "rank_stall":
+            if self.rank < 0:
+                raise ConfigurationError("rank_stall needs a `rank` index")
+            if self.duration <= 0.0:
+                raise ConfigurationError("rank_stall needs `duration` > 0")
+        for name in ("start", "duration", "period", "at", "probability"):
+            v = getattr(self, name)
+            if v != v or v in (float("inf"), float("-inf")):
+                raise ConfigurationError(f"{k}.{name} must be finite, got {v}")
+
+    def to_dict(self) -> dict:
+        """Compact dict: only non-default fields beyond ``kind``."""
+        out = {"kind": self.kind}
+        for f in fields(self):
+            if f.name == "kind":
+                continue
+            v = getattr(self, f.name)
+            if v != f.default:
+                out[f.name] = v
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault spec field(s) {sorted(unknown)}")
+        spec = cls(**d)
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded fault schedule plus the recovery budget (see module doc)."""
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+    max_retries: int = 0
+    backoff_base_s: float = 2e-6
+    backoff_jitter: float = 0.25
+    request_timeout_s: Optional[float] = None
+    round_timeout_s: Optional[float] = None
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        normalized = tuple(
+            f if isinstance(f, FaultSpec) else FaultSpec.from_dict(dict(f))
+            for f in self.faults)
+        object.__setattr__(self, "faults", normalized)
+        for f in normalized:
+            f.validate()
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base_s < 0.0:
+            raise ConfigurationError("backoff_base_s must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError("backoff_jitter must be in [0, 1]")
+        for name in ("request_timeout_s", "round_timeout_s"):
+            v = getattr(self, name)
+            if v is not None and v <= 0.0:
+                raise ConfigurationError(f"{name} must be positive or None")
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [f.to_dict() for f in self.faults],
+            "max_retries": self.max_retries,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_jitter": self.backoff_jitter,
+            "request_timeout_s": self.request_timeout_s,
+            "round_timeout_s": self.round_timeout_s,
+            "fallback": self.fallback,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan field(s) {sorted(unknown)}")
+        d = dict(d)
+        d["faults"] = tuple(
+            FaultSpec.from_dict(dict(f)) for f in d.get("faults", ()))
+        return cls(**d)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid fault plan JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"fault plan JSON must be an object, got {type(data).__name__}")
+        return cls.from_dict(data)
+
+    def summary(self) -> str:
+        """One line per fault plus the recovery budget."""
+        lines = [f"fault plan: seed={self.seed}, retries={self.max_retries}, "
+                 f"fallback={'on' if self.fallback else 'off'}, "
+                 f"req_timeout={self.request_timeout_s}, "
+                 f"round_timeout={self.round_timeout_s}"]
+        for f in self.faults:
+            detail = ", ".join(f"{k}={v}" for k, v in f.to_dict().items()
+                               if k != "kind")
+            lines.append(f"  {f.kind:<18} {detail}")
+        return "\n".join(lines)
+
+
+def load_fault_plan(spec: Union["FaultPlan", dict, str, Path]) -> FaultPlan:
+    """Resolve any accepted fault-plan description to a :class:`FaultPlan`.
+
+    Accepts a plan instance (returned as-is), a dict, a path to a JSON
+    file, or an inline JSON string (anything starting with ``{``).  This
+    is what ``SimCluster.create(faults=...)`` and the ``REPRO_FAULTS``
+    environment variable feed.
+    """
+    if isinstance(spec, FaultPlan):
+        return spec
+    if isinstance(spec, dict):
+        return FaultPlan.from_dict(spec)
+    if isinstance(spec, Path):
+        return FaultPlan.from_json(spec.read_text())
+    if isinstance(spec, str):
+        if spec.lstrip().startswith("{"):
+            return FaultPlan.from_json(spec)
+        path = Path(spec)
+        if not path.exists():
+            raise ConfigurationError(
+                f"fault plan file not found: {spec!r} (pass a path or "
+                f"inline JSON starting with '{{')")
+        return FaultPlan.from_json(path.read_text())
+    raise ConfigurationError(
+        f"cannot load a fault plan from {type(spec).__name__}")

@@ -28,7 +28,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
-from ..errors import MpiError, TruncationError
+from ..errors import (ExchangeTimeoutError, MpiError,
+                      TransientTransportError, TruncationError)
 from ..sim import Resource, Task
 from ..cuda.memory import DeviceBuffer, PinnedBuffer
 from .request import Request
@@ -93,10 +94,34 @@ class Transport:
             m.gauge("mpi.queue_depth", side=side,
                     rank=rank.index).add(delta)
 
+    def _arm_deadline(self, request: Request, kind: str, tag: int) -> None:
+        """Virtual-time watchdog on one request (fault layer only).
+
+        The deadline event is cancelled the instant the request completes,
+        so a healthy run's virtual time is untouched; if it fires, the run
+        fails loudly with the stuck request's name instead of spinning to
+        the engine's ``max_events`` cap.
+        """
+        faults = self.world.cluster.faults
+        if faults is None or faults.plan.request_timeout_s is None:
+            return
+        eng = self.world.cluster.engine
+        timeout = faults.plan.request_timeout_s
+
+        def expire() -> None:
+            msg = (f"MPI {kind} {request.label} (tag {tag}) incomplete "
+                   f"after its {timeout:.3e}s virtual-time deadline")
+            faults.record_timeout(request.label, msg)
+            raise ExchangeTimeoutError(msg)
+
+        eid = eng.schedule(timeout, expire)
+        request.on_complete(lambda _r: eng.cancel(eid))
+
     def submit_send(self, entry: _SendEntry) -> None:
         m = self.world.cluster.metrics
         if m is not None:
             entry.posted_at = self.world.cluster.engine.now
+        self._arm_deadline(entry.request, "send", entry.tag)
         key = (entry.rank.index, entry.dest, entry.tag)
         rq = self._recvs.get(key)
         if rq:
@@ -115,6 +140,7 @@ class Transport:
         m = self.world.cluster.metrics
         if m is not None:
             entry.posted_at = self.world.cluster.engine.now
+        self._arm_deadline(entry.request, "recv", entry.tag)
         key = (entry.source, entry.rank.index, entry.tag)
         sq = self._sends.get(key)
         if sq:
@@ -277,11 +303,78 @@ class Transport:
     # protocols ---------------------------------------------------------------
     def _make_task(self, label: str, duration: float, resources, deps,
                    action, lane: str, nbytes: int) -> Task:
+        faults = self.world.cluster.faults
+        if faults is not None:
+            # Link degradation: the duration is stretched by the worst
+            # bandwidth_scale among the resources, sampled at creation.
+            duration = faults.scaled_duration(duration, resources)
         t = Task(self.world.cluster.engine, name=label, duration=duration,
                  resources=resources, deps=deps, action=action, lane=lane,
                  kind="mpi", tracer=self.world.cluster.tracer, bytes=nbytes)
         t.submit()
         return t
+
+    def _apply_verdict(self, verdict: str, s: _SendEntry) -> None:
+        """Raise on verdicts that spoil this wire attempt.
+
+        ``drop`` loses the payload on the wire; ``corrupt`` is detected by
+        the receiver's checksum and discarded on arrival.  Both cost one
+        full wire traversal and deliver nothing.
+        """
+        if verdict in ("drop", "corrupt"):
+            raise TransientTransportError(
+                f"{verdict} on wire transfer {s.request.label}")
+
+    def _launch_wire(self, s: _SendEntry, r: _RecvEntry, label: str,
+                     dur: float, res, deps, complete_send: bool,
+                     lane: str, attempt: int = 0) -> None:
+        """One wire attempt: consult the fault layer, deliver or retry.
+
+        Fault-free clusters take the first branch with verdict ``"ok"`` and
+        build exactly the task the pre-fault code built (identical label,
+        duration, resources) — zero perturbation.  A dropped/corrupted
+        attempt still occupies the wire for its full duration but carries
+        no copy action and no receive-side sanitizer annotation (nothing
+        landed), then re-sends after seeded exponential backoff, up to the
+        plan's ``max_retries``.  Exhaustion leaves the requests pending for
+        the request/round deadline to convert into a diagnostic
+        :class:`~repro.errors.ExchangeTimeoutError`.
+        """
+        faults = self.world.cluster.faults
+        verdict = "ok"
+        if faults is not None:
+            verdict = faults.transfer_verdict(s.request.label)
+        name = label if attempt == 0 else f"{label}~retry{attempt}"
+        try:
+            self._apply_verdict(verdict, s)
+        except TransientTransportError:
+            lost = self._make_task(name, dur, res, deps, None, lane, s.nbytes)
+            self._annotate_transfer(lost, s)  # payload read; nothing written
+
+            def resend(_t: Task) -> None:
+                if attempt < faults.plan.max_retries:
+                    delay = faults.backoff_delay(attempt)
+                    faults.record_retry(s.request.label, attempt, delay)
+                    self.world.cluster.engine.schedule(
+                        delay, lambda: self._launch_wire(
+                            s, r, label, dur, res, deps, complete_send,
+                            lane, attempt + 1))
+                else:
+                    faults.record_exhausted(s.request.label, attempt + 1)
+
+            lost.on_complete(resend)
+            return
+        wire = self._make_task(name, dur, res, deps,
+                               self._copy_action(s, r), lane, s.nbytes)
+        wire.on_complete(
+            lambda t: self._finish(s, r, complete_send=complete_send, source=t))
+        self._annotate_transfer(wire, s, r)
+        if verdict == "duplicate":
+            # Phantom second delivery: occupies the same path again but is
+            # idempotent — the receiver discards it (no action, no
+            # annotation, no completion), so only timing is perturbed.
+            self._make_task(f"{label}~dup", dur, res, deps, None,
+                            lane, s.nbytes)
 
     def _finish(self, s: _SendEntry, r: _RecvEntry,
                 complete_send: bool, source: Optional[Task] = None) -> None:
@@ -374,14 +467,11 @@ class Transport:
             raise MpiError(f"mixed host/device message {s.request.label}")
         cost = self.world.cluster.cost
         assert s.inject is not None
-        deliver = self._make_task(
-            f"mpi-deliver:{r.request.label}",
+        self._launch_wire(
+            s, r, f"mpi-deliver:{r.request.label}",
             cost.mpi_message_overhead + s.nbytes / cost.self_copy_bandwidth,
             [r.rank.progress], [s.inject, r.issue],
-            self._copy_action(s, r), f"{r.rank.lane}/mpi", s.nbytes)
-        deliver.on_complete(
-            lambda t: self._finish(s, r, complete_send=False, source=t))
-        self._annotate_transfer(deliver, s, r)
+            complete_send=False, lane=f"{r.rank.lane}/mpi")
 
     def _rendezvous(self, s: _SendEntry, r: _RecvEntry) -> None:
         """Large or device message: wire transfer gated on both sides.
@@ -417,9 +507,6 @@ class Transport:
         else:
             dur = (cost.mpi_message_overhead + cost.rendezvous_rtt + lat
                    + extra + s.nbytes / bw)
-        wire = self._make_task(
-            f"mpi-rndv:{s.request.label}", dur, res, deps,
-            self._copy_action(s, r), f"{s.rank.lane}/mpi", s.nbytes)
-        wire.on_complete(
-            lambda t: self._finish(s, r, complete_send=True, source=t))
-        self._annotate_transfer(wire, s, r)
+        self._launch_wire(
+            s, r, f"mpi-rndv:{s.request.label}", dur, res, deps,
+            complete_send=True, lane=f"{s.rank.lane}/mpi")

@@ -101,6 +101,13 @@ class SimNode:
         """Min link bandwidth along the routed path a→b."""
         return self.topology.bandwidth(a, b)
 
+    def link_resources(self) -> List[Resource]:
+        """All directional link resources plus NIC rails, in a
+        deterministic order (used by the fault layer's name matching)."""
+        out = [self._link_res[k] for k in sorted(self._link_res)]
+        out.extend(r for r in (self.nic_out, self.nic_in) if r is not None)
+        return out
+
     def path_latency(self, a: str, b: str) -> float:
         return self.topology.latency(a, b)
 
@@ -134,6 +141,8 @@ class SimCluster:
         #: (:func:`repro.analyze.analyze_plan`), raising
         #: :class:`~repro.errors.AnalysisError` on findings
         self.precheck = False
+        #: attached :class:`repro.faults.FaultInjector`, or None (the default)
+        self.faults = None
         #: every MpiWorld built over this cluster (for sanitizer finalize)
         self.worlds: List["MpiWorld"] = []  # noqa: F821 - set by MpiWorld
         self.nodes: List[SimNode] = [SimNode(self, i)
@@ -144,7 +153,8 @@ class SimCluster:
                data_mode: bool = True, trace: bool = False,
                sanitize: Optional[bool] = None,
                metrics: Optional[bool] = None,
-               precheck: Optional[bool] = None) -> "SimCluster":
+               precheck: Optional[bool] = None,
+               faults=None) -> "SimCluster":
         """Build a cluster; ``trace=True`` records a full timeline.
 
         ``sanitize=True`` attaches a :class:`repro.sanitize.Sanitizer`
@@ -164,6 +174,14 @@ class SimCluster:
         this cluster, *between* plan construction and setup — a broken
         plan raises :class:`~repro.errors.AnalysisError` before anything
         launches.  The default (``None``) consults ``REPRO_PRECHECK``.
+
+        ``faults`` attaches a :class:`repro.faults.FaultInjector` driving a
+        seeded :class:`repro.faults.FaultPlan` — anything
+        :func:`repro.faults.load_fault_plan` accepts (a plan, a dict, a
+        JSON file path, or inline JSON).  The default (``None``) consults
+        ``REPRO_FAULTS`` (a path or inline JSON; empty or ``"0"`` means
+        off), so CI can run the whole suite under a fault plan without
+        touching call sites.
         """
         from ..cuda.device import Device  # deferred: cuda imports runtime types
         cluster = cls(machine, cost or CostModel(), data_mode,
@@ -185,6 +203,13 @@ class SimCluster:
         if precheck is None:
             precheck = os.environ.get("REPRO_PRECHECK", "") not in ("", "0")
         cluster.precheck = precheck
+        if faults is None:
+            env = os.environ.get("REPRO_FAULTS", "")
+            faults = env if env not in ("", "0") else None
+        if faults is not None:
+            from ..faults import FaultInjector, load_fault_plan  # deferred
+            cluster.faults = FaultInjector(cluster, load_fault_plan(faults))
+            cluster.faults.arm()
         cluster_registry.add(cluster)
         return cluster
 

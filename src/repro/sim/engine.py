@@ -33,7 +33,8 @@ class Engine:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_running", "_events_processed",
-                 "retain_dag", "max_events", "observer", "record_intervals")
+                 "_cancelled", "retain_dag", "max_events", "observer",
+                 "record_intervals")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -41,6 +42,7 @@ class Engine:
         self._seq: int = 0
         self._running: bool = False
         self._events_processed: int = 0
+        self._cancelled: set = set()
         #: when True, tasks keep references to their dependencies so the
         #: completed DAG can be walked afterwards (critical-path profiling).
         #: Off by default: retaining edges pins every predecessor in memory,
@@ -75,24 +77,42 @@ class Engine:
         return len(self._heap)
 
     # -- scheduling -------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callback) -> None:
+    def schedule(self, delay: float, callback: Callback) -> int:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         ``delay`` must be finite and non-negative; a zero delay runs the
         callback after all events already scheduled for the current instant.
+        Returns an event id usable with :meth:`cancel`.
         """
         if not (delay >= 0.0) or math.isinf(delay) or math.isnan(delay):
             raise SimulationError(f"invalid delay {delay!r}")
-        self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback)
 
-    def schedule_at(self, when: float, callback: Callback) -> None:
-        """Schedule ``callback`` at absolute virtual time ``when``."""
+    def schedule_at(self, when: float, callback: Callback) -> int:
+        """Schedule ``callback`` at absolute virtual time ``when``.
+
+        Returns an event id usable with :meth:`cancel`.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: when={when} < now={self._now}"
             )
-        heapq.heappush(self._heap, (when, self._seq, callback))
+        seq = self._seq
+        heapq.heappush(self._heap, (when, seq, callback))
         self._seq += 1
+        return seq
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a scheduled event by the id ``schedule`` returned.
+
+        Cancelled events are lazily discarded when they reach the head of
+        the queue — *without* advancing the clock or counting toward the
+        ``max_events`` cap.  This is how deadline/watchdog events (the
+        fault layer's timeouts) avoid perturbing virtual time when the
+        guarded operation completes early.  Cancelling an already-fired or
+        unknown id is a no-op.
+        """
+        self._cancelled.add(event_id)
 
     # -- running -----------------------------------------------------------------
     def run(self, until: Optional[float] = None,
@@ -116,7 +136,13 @@ class Engine:
         self._running = True
         try:
             while self._heap:
-                when, _seq, cb = self._heap[0]
+                when, seq, cb = self._heap[0]
+                if seq in self._cancelled:
+                    # Discard without advancing the clock: a cancelled
+                    # deadline must leave no trace in virtual time.
+                    heapq.heappop(self._heap)
+                    self._cancelled.discard(seq)
+                    continue
                 if until is not None and when > until:
                     self._now = until
                     break
@@ -133,6 +159,8 @@ class Engine:
                 cb()
         finally:
             self._running = False
+        if not self._heap:
+            self._cancelled.clear()
         if self.observer is not None and not self._heap:
             # True quiescence: every scheduled effect has been applied, and
             # the (single) driving thread is about to observe that fact — a
@@ -142,10 +170,13 @@ class Engine:
 
     def step(self) -> bool:
         """Run a single event.  Returns False if the queue was empty."""
-        if not self._heap:
-            return False
-        when, _seq, cb = heapq.heappop(self._heap)
-        self._now = when
-        self._events_processed += 1
-        cb()
-        return True
+        while self._heap:
+            when, seq, cb = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            self._now = when
+            self._events_processed += 1
+            cb()
+            return True
+        return False

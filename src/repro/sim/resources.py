@@ -50,8 +50,8 @@ class Resource:
         resources can expose their speed to cost models.
     """
 
-    __slots__ = ("engine", "name", "capacity", "bandwidth", "_in_use",
-                 "_waiters", "_id", "busy_time", "_last_busy_start",
+    __slots__ = ("engine", "name", "capacity", "bandwidth", "bandwidth_scale",
+                 "_in_use", "_waiters", "_id", "busy_time", "_last_busy_start",
                  "wait_time", "wait_count", "intervals")
 
     def __init__(self, engine: Engine, name: str, capacity: int = 1,
@@ -62,6 +62,11 @@ class Resource:
         self.name = name
         self.capacity = capacity
         self.bandwidth = bandwidth
+        #: multiplicative health factor on the effective data rate, in
+        #: (0, 1].  1.0 means nominal; the fault layer lowers it during a
+        #: ``link_degrade`` window and operations traversing this resource
+        #: take 1/scale longer.  Nothing in the base simulator writes it.
+        self.bandwidth_scale: float = 1.0
         self._in_use = 0
         self._waiters: List["AcquireRequest"] = []
         self._id = next(_resource_ids)

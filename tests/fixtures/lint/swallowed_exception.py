@@ -1,0 +1,28 @@
+"""Seeded bug: handlers that silently swallow substrate errors."""
+
+
+def drain(engine):
+    try:
+        engine.step()
+    except:
+        pass
+    try:
+        engine.step()
+    except Exception:
+        pass
+    try:
+        engine.step()
+    except BaseException:
+        ...
+    try:
+        engine.step()
+    except Exception as exc:
+        raise RuntimeError("step failed") from exc
+    try:
+        engine.step()
+    except ValueError:
+        pass
+    try:
+        engine.step()
+    except Exception:  # lint: ignore[swallowed-exception]
+        pass

@@ -56,6 +56,21 @@ def test_unordered_iter_fixture():
     assert all(n < 14 for n in lines)
 
 
+def test_swallowed_exception_fixture():
+    found = lint_fixture("swallowed_exception.py",
+                         rules=["swallowed-exception"])
+    assert [f.line for f in found] == [7, 11, 15]
+    # line 19 handles-and-re-raises, line 23 catches a specific type,
+    # line 27 is suppressed — none flagged
+
+
+def test_swallowed_exception_scopes_to_substrate_packages():
+    src = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+    assert lint_source(src, Path("src/repro/bench/harness.py")) == []
+    assert len(lint_source(src, Path("src/repro/faults/injector.py"))) == 1
+    assert len(lint_source(src, Path("src/repro/runtime/cluster.py"))) == 1
+
+
 def test_every_rule_has_a_fixture_and_fires():
     fired = set()
     for path in FIXTURES.glob("*.py"):

@@ -46,10 +46,12 @@ class TestDeadlockDetection:
                       and ch.nbytes > threshold)
         original = victim.post_recv
         victim.post_recv = lambda ops: None  # drop the Irecv
-        with pytest.raises(DeadlockError) as exc:
-            dd.exchange()
-        assert "unmatched" in str(exc.value)
-        victim.post_recv = original
+        try:
+            with pytest.raises(DeadlockError) as exc:
+                dd.exchange()
+            assert "unmatched" in str(exc.value)
+        finally:
+            victim.post_recv = original
 
     def test_engine_quiescence_without_completion_detected(self):
         from repro.sim import Engine, Signal, Task
@@ -117,9 +119,77 @@ class TestStateIntegrity:
                       and ch.nbytes > threshold)
         original = victim.post_recv
         victim.post_recv = lambda ops: None
-        with pytest.raises(DeadlockError):
-            dd.exchange()
-        assert np.array_equal(dd.gather_global(0), vals)
-        victim.post_recv = original
+        try:
+            with pytest.raises(DeadlockError):
+                dd.exchange()
+            assert np.array_equal(dd.gather_global(0), vals)
+        finally:
+            victim.post_recv = original
         # NOTE: the failed round left orphaned ops behind; a real library
         # would abort the job.  We only assert the data was never touched.
+
+
+class TestFaultPlanInjection:
+    """The declarative faults API covers the same scenarios without
+    monkeypatching library internals (see :mod:`repro.faults`)."""
+
+    def _make_dd(self, faults=None, **kw):
+        cluster = repro.SimCluster.create(repro.summit_machine(2),
+                                          faults=faults, **kw)
+        world = repro.MpiWorld.create(cluster, 6)
+        return repro.DistributedDomain(
+            world, size=Dim3(192, 192, 192), radius=1,
+            quantities=4).realize()
+
+    def _victim_label(self):
+        """Send-request label of an MPI-carried channel, discovered from a
+        fault-free reference build (the faulted cluster must target a
+        *data* transfer — a broad match would starve the setup handshakes
+        before realize() completes)."""
+        from repro.core.methods import ExchangeMethod
+        ref = self._make_dd()
+        ch = next(c for c in ref.plan.channels
+                  if c.group is None and c.method in
+                  (ExchangeMethod.STAGED, ExchangeMethod.CUDA_AWARE_MPI))
+        return f"s{ch.src.rank.index}>{ch.dst.rank.index}.t{ch.tag}"
+
+    @pytest.mark.allow_unmatched
+    @pytest.mark.expect_findings
+    def test_starved_channel_times_out_with_diagnosis(self):
+        """A transfer dropped past its retry budget must surface as an
+        ExchangeTimeoutError naming the stuck channel — not a hang and
+        not a generic deadlock."""
+        from repro.errors import ExchangeTimeoutError
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=3, max_retries=1, round_timeout_s=0.05,
+                         faults=({"kind": "drop",
+                                  "match": self._victim_label(),
+                                  "times": 99},))
+        dd = self._make_dd(faults=plan)
+        with pytest.raises(ExchangeTimeoutError) as exc:
+            dd.exchange()
+        msg = str(exc.value)
+        assert "deadline" in msg
+        assert "stuck channels" in msg
+        assert dd.cluster.faults.counters["timeouts"] == 1
+
+    @pytest.mark.allow_unmatched
+    @pytest.mark.expect_findings
+    def test_timed_out_exchange_does_not_corrupt_data(self):
+        """Interior data survives a timed-out round untouched (the faults
+        port of the monkeypatched deadlock test above)."""
+        from repro.errors import ExchangeTimeoutError
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=3, max_retries=0, round_timeout_s=0.05,
+                         faults=({"kind": "drop",
+                                  "match": self._victim_label(),
+                                  "times": 99},))
+        dd = self._make_dd(faults=plan, data_mode=True)
+        rng = np.random.default_rng(0)
+        vals = rng.random(dd.size.as_zyx()).astype(dd.dtype)
+        dd.set_global(0, vals)
+        with pytest.raises(ExchangeTimeoutError):
+            dd.exchange()
+        assert np.array_equal(dd.gather_global(0), vals)

@@ -1,0 +1,163 @@
+"""FaultPlan / FaultSpec: validation, serialization, and loading."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec, load_fault_plan
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(kind="meteor").validate()
+
+    def test_transfer_kinds_need_match(self):
+        for kind in ("drop", "corrupt", "duplicate"):
+            with pytest.raises(ConfigurationError, match="match"):
+                FaultSpec(kind=kind, times=1).validate()
+
+    def test_transfer_kinds_need_times_or_probability(self):
+        with pytest.raises(ConfigurationError, match="times"):
+            FaultSpec(kind="drop", match=".t").validate()
+        FaultSpec(kind="drop", match=".t", times=2).validate()
+        FaultSpec(kind="drop", match=".t", probability=0.5,
+                  max_times=3).validate()
+
+    def test_link_degrade_scale_and_window(self):
+        good = dict(kind="link_degrade", match="nic", scale=0.5,
+                    duration=1e-3)
+        FaultSpec(**good).validate()
+        with pytest.raises(ConfigurationError, match="scale"):
+            FaultSpec(**{**good, "scale": 1.5}).validate()
+        with pytest.raises(ConfigurationError, match="period"):
+            FaultSpec(**{**good, "repeat": 3, "period": 1e-4}).validate()
+        # duration <= 0 is the open-ended form — but it cannot flap
+        FaultSpec(**{**good, "duration": 0.0}).validate()
+        with pytest.raises(ConfigurationError, match="open-ended"):
+            FaultSpec(**{**good, "duration": 0.0, "repeat": 2,
+                         "period": 1.0}).validate()
+
+    def test_straggler_needs_gpu_and_slowdown(self):
+        FaultSpec(kind="straggler", gpu=0, scale=2.0).validate()
+        with pytest.raises(ConfigurationError, match="gpu"):
+            FaultSpec(kind="straggler", scale=2.0).validate()
+        with pytest.raises(ConfigurationError, match="> 1"):
+            FaultSpec(kind="straggler", gpu=0, scale=0.5).validate()
+
+    def test_peer_revoke_needs_both_gpus(self):
+        FaultSpec(kind="peer_revoke", gpu=0, peer=1).validate()
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="peer_revoke", gpu=0).validate()
+
+    def test_rank_stall_needs_rank_and_duration(self):
+        FaultSpec(kind="rank_stall", rank=1, duration=1e-3).validate()
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="rank_stall", duration=1e-3).validate()
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="rank_stall", rank=1).validate()
+
+    def test_alloc_fail_is_deterministic_only(self):
+        FaultSpec(kind="alloc_fail", match="halo", times=1).validate()
+        with pytest.raises(ConfigurationError, match="times"):
+            FaultSpec(kind="alloc_fail", match="halo",
+                      probability=0.5, max_times=2).validate()
+
+    def test_non_finite_times_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            FaultSpec(kind="cuda_aware_revoke", at=float("nan")).validate()
+        with pytest.raises(ConfigurationError, match="finite"):
+            FaultSpec(kind="cuda_aware_revoke", at=float("inf")).validate()
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault spec"):
+            FaultSpec.from_dict({"kind": "drop", "match": ".t", "times": 1,
+                                 "severity": "high"})
+
+
+class TestPlanValidation:
+    def test_defaults_are_a_valid_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.faults == ()
+        assert plan.fallback is True
+
+    def test_dict_specs_are_normalized(self):
+        plan = FaultPlan(faults=({"kind": "drop", "match": ".t",
+                                  "times": 1},))
+        assert isinstance(plan.faults[0], FaultSpec)
+
+    def test_recovery_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(backoff_jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(round_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(request_timeout_s=-1.0)
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault plan"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+
+class TestSerialization:
+    PLAN = FaultPlan(
+        seed=42, max_retries=3, round_timeout_s=0.1,
+        faults=(
+            {"kind": "drop", "match": "s0>1.t0", "times": 2},
+            {"kind": "link_degrade", "match": "nic", "scale": 0.5,
+             "duration": 1e-3, "repeat": 2, "period": 2e-3},
+            {"kind": "peer_revoke", "gpu": 0, "peer": 1, "at": 1e-3},
+        ))
+
+    def test_roundtrip_dict_and_json(self):
+        assert FaultPlan.from_dict(self.PLAN.to_dict()) == self.PLAN
+        assert FaultPlan.from_json(self.PLAN.to_json()) == self.PLAN
+
+    def test_spec_dicts_are_compact(self):
+        d = self.PLAN.faults[0].to_dict()
+        assert d == {"kind": "drop", "match": "s0>1.t0", "times": 2}
+
+    def test_summary_names_every_fault(self):
+        text = self.PLAN.summary()
+        for f in self.PLAN.faults:
+            assert f.kind in text
+        assert "seed=42" in text
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid fault plan"):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ConfigurationError, match="object"):
+            FaultPlan.from_json("[1, 2]")
+
+
+class TestLoadFaultPlan:
+    def test_instance_passthrough(self):
+        plan = FaultPlan(seed=5)
+        assert load_fault_plan(plan) is plan
+
+    def test_from_dict_and_inline_json(self):
+        assert load_fault_plan({"seed": 9}).seed == 9
+        assert load_fault_plan('  {"seed": 9}').seed == 9
+
+    def test_from_file(self, tmp_path):
+        p = tmp_path / "plan.json"
+        p.write_text(json.dumps({"seed": 13, "max_retries": 2}))
+        assert load_fault_plan(p).seed == 13
+        assert load_fault_plan(str(p)).max_retries == 2
+
+    def test_missing_file_is_a_config_error(self):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_fault_plan("/nonexistent/plan.json")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_fault_plan(42)
+
+
+def test_fault_kinds_registry_is_stable():
+    assert set(FAULT_KINDS) == {
+        "drop", "corrupt", "duplicate", "link_degrade", "straggler",
+        "peer_revoke", "cuda_aware_revoke", "alloc_fail", "rank_stall"}

@@ -1,0 +1,120 @@
+"""Property tests for fault injection: recoverable plans never corrupt.
+
+For randomized *recoverable* fault plans (transport drops/corruption/
+duplication within the retry budget, link flaps, stragglers, rank stalls,
+mid-run peer revocation with the degradation ladder enabled), a halo
+exchange must end in exactly the state a fault-free run produces:
+
+* ``verify_halos`` finds every halo cell correct,
+* every subdomain array (interiors *and* halos) is bit-identical to the
+  fault-free reference,
+* the concurrency sanitizer observes nothing wrong.
+
+Separately, fault handling must be *deterministic*: the same seed on the
+same configuration yields the identical metrics snapshot, counters, and
+elapsed virtual time, twice in a row.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro import Dim3
+from repro.core.verify import verify_halos
+from repro.faults import FaultPlan
+
+from tests.exchange_helpers import fill_pattern
+
+NODES, RPN = 2, 2
+SIZE = Dim3(18, 12, 12)
+QUANTITIES = 2
+
+#: fault-free reference state per cuda_aware flag, computed lazily
+_reference = {}
+
+
+def _build(faults=None, cuda_aware=False, **kw):
+    cluster = repro.SimCluster.create(repro.summit_machine(NODES),
+                                      faults=faults, **kw)
+    world = repro.MpiWorld.create(cluster, RPN, cuda_aware=cuda_aware)
+    dd = repro.DistributedDomain(world, size=SIZE, radius=1,
+                                 quantities=QUANTITIES).realize()
+    fill_pattern(dd)
+    dd.exchange()
+    return dd, cluster
+
+
+def _arrays(dd):
+    return [s.domain.array.copy() for s in dd.subdomains]
+
+
+def _reference_arrays(cuda_aware):
+    if cuda_aware not in _reference:
+        dd, _ = _build(cuda_aware=cuda_aware)
+        _reference[cuda_aware] = _arrays(dd)
+    return _reference[cuda_aware]
+
+
+@st.composite
+def recoverable_plans(draw):
+    faults = []
+    kind = draw(st.sampled_from(["drop", "corrupt", "duplicate"]))
+    faults.append({"kind": kind, "match": ".t",
+                   "times": draw(st.integers(1, 3))})
+    if draw(st.booleans()):
+        faults.append({"kind": "link_degrade", "match": "nic",
+                       "scale": draw(st.floats(0.25, 0.9)),
+                       "start": 0.0, "duration": 2e-3,
+                       "repeat": draw(st.integers(1, 3)), "period": 4e-3})
+    if draw(st.booleans()):
+        faults.append({"kind": "straggler", "gpu": draw(st.integers(0, 3)),
+                       "scale": draw(st.floats(1.5, 4.0)),
+                       "start": 0.0, "duration": 1e-3})
+    if draw(st.booleans()):
+        faults.append({"kind": "rank_stall", "rank": draw(st.integers(0, 3)),
+                       "at": draw(st.floats(0.0, 1e-3)), "duration": 5e-4})
+    cuda_aware = draw(st.booleans())
+    if draw(st.booleans()):
+        faults.append({"kind": "peer_revoke", "gpu": 0, "peer": 1,
+                       "at": 0.0})
+    plan = FaultPlan(seed=draw(st.integers(0, 2 ** 16)), max_retries=6,
+                     faults=tuple(faults))
+    return plan, cuda_aware
+
+
+@given(recoverable_plans())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_recoverable_plan_is_bit_identical_to_fault_free(case):
+    plan, cuda_aware = case
+    dd, cluster = _build(faults=plan, cuda_aware=cuda_aware, sanitize=True)
+
+    assert verify_halos(dd) > 0
+    for got, want in zip(_arrays(dd), _reference_arrays(cuda_aware)):
+        assert np.array_equal(got, want), \
+            "recoverable faults left halos differing from a fault-free run"
+    assert cluster.faults.counters["timeouts"] == 0
+    san = cluster.finalize()
+    assert san.ok, san.summary()
+
+
+@given(st.integers(0, 2 ** 16))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_same_seed_same_metrics_snapshot(seed):
+    plan = FaultPlan(
+        seed=seed, max_retries=6,
+        faults=(
+            {"kind": "drop", "match": ".t", "probability": 0.4,
+             "max_times": 4},
+            {"kind": "link_degrade", "match": "nic", "scale": 0.5,
+             "start": 0.0, "duration": 2e-3, "repeat": 2, "period": 4e-3},
+        ))
+    snapshots = []
+    for _ in range(2):
+        dd, cluster = _build(faults=plan, metrics=True)
+        snapshots.append((cluster.metrics.registry.snapshot_json(),
+                          dict(cluster.faults.counters),
+                          cluster.engine.now))
+    assert snapshots[0] == snapshots[1], \
+        "identical seed + configuration must replay bit-identically"
